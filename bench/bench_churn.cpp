@@ -1,0 +1,111 @@
+// bench_churn — experiments E6/E7 (DESIGN.md §3).
+//
+// Paper claim (Theorem 4.24): integrating a joining node and recovering from
+// a leave both take O(ln^{2+ε} n) steps.  Counters:
+//   rounds_mean / msgs_mean / recovered  per event type and n
+// Expected shape: recovery rounds grow ~polylog in n (doubling n several
+// times should multiply rounds by far less than 2× each time); recovered = 1
+// for joins and ≈ 1 for leaves (leave recovery is a w.h.p. statement).
+#include "analysis/churn_storm.hpp"
+#include "analysis/convergence.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void run_churn(benchmark::State& state, bool join) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::ChurnOptions options;
+  options.n = n;
+  options.trials = 6;
+  options.base_seed = bench::kBaseSeed + n;
+  options.burn_in_rounds = 4 * n;
+  analysis::ChurnResult result;
+  for (auto _ : state) {
+    result = join ? analysis::measure_join(options) : analysis::measure_leave(options);
+    options.base_seed += options.trials;
+  }
+  state.counters["rounds_mean"] = result.recovery_rounds.mean;
+  state.counters["rounds_p90"] = result.recovery_rounds.p90;
+  state.counters["msgs_mean"] = result.recovery_messages.mean;
+  state.counters["recovered"] = result.recovered;
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_Churn_Join(benchmark::State& state) { run_churn(state, true); }
+void BM_Churn_Leave(benchmark::State& state) { run_churn(state, false); }
+
+#define SSSW_CHURN_ARGS \
+  ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_Churn_Join) SSSW_CHURN_ARGS;
+BENCHMARK(BM_Churn_Leave) SSSW_CHURN_ARGS;
+
+void BM_Churn_Storm(benchmark::State& state) {
+  // Overlapping churn: one event every `interval` rounds with no recovery
+  // wait.  Arg = interval; smaller is harsher.  Reports survival and the
+  // quiesce time once the storm stops — the w.h.p. caveat of Thm 4.24 made
+  // measurable.
+  const auto interval = static_cast<std::size_t>(state.range(0));
+  double survived = 0, quiesce = 0, msg_rate = 0;
+  constexpr int kTrials = 4;
+  analysis::ChurnStormOptions options;
+  options.n = 96;
+  options.events = 24;
+  options.event_interval = interval;
+  for (auto _ : state) {
+    survived = quiesce = msg_rate = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      options.seed = bench::kBaseSeed + interval * 100 + trial;
+      const auto result = analysis::run_churn_storm(options);
+      survived += result.survived ? 1.0 : 0.0;
+      quiesce += static_cast<double>(result.quiesce_rounds);
+      msg_rate += result.messages_per_node_round;
+    }
+  }
+  state.counters["survived"] = survived / kTrials;
+  state.counters["quiesce_rounds"] = quiesce / kTrials;
+  state.counters["msgs_per_node_round"] = msg_rate / kTrials;
+  state.counters["interval"] = static_cast<double>(interval);
+}
+BENCHMARK(BM_Churn_Storm)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Churn_CrashHeal(benchmark::State& state) {
+  // Crash-stop (no neighbour detection) healed by the failure-detector
+  // extension: rounds from a crash to the restored ring, vs n.  The
+  // baseline "leave" rows above get detection for free; this measures the
+  // extra latency the timeout costs.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double rounds_sum = 0, healed = 0;
+  constexpr int kTrials = 4;
+  constexpr std::uint32_t kTimeout = 8;
+  for (auto _ : state) {
+    rounds_sum = healed = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const std::uint64_t seed = bench::kBaseSeed + n + trial;
+      core::Config config;
+      config.failure_timeout = kTimeout;
+      core::SmallWorldNetwork network = bench::stabilized(n, seed, 4 * n, config);
+      util::Rng rng(seed ^ 0x63726173ull);
+      const auto ids = network.engine().ids();
+      network.crash(ids[rng.below(ids.size())]);
+      const auto rounds = network.run_until_sorted_ring(400 * n + 4000);
+      if (rounds.has_value()) {
+        healed += 1.0;
+        rounds_sum += static_cast<double>(*rounds);
+      }
+    }
+  }
+  state.counters["rounds_mean"] = healed > 0 ? rounds_sum / healed : -1.0;
+  state.counters["healed"] = healed / kTrials;
+  state.counters["timeout"] = kTimeout;
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Churn_CrashHeal)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

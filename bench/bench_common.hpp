@@ -1,0 +1,36 @@
+// bench_common.hpp — shared helpers for the experiment benches.
+//
+// Each bench binary regenerates one experiment from DESIGN.md §3 (E1–E10,
+// A1/A2, P1).  Results are reported as google-benchmark counters so that the
+// standard console/JSON reporters show the paper-relevant observables
+// (rounds, hops, exponents) next to wall-clock time.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::bench {
+
+/// Fixed base seed: benches are reproducible run-to-run.
+inline constexpr std::uint64_t kBaseSeed = 20120521;  // IPPS 2012 :-)
+
+/// Builds a stabilized ring of n random ids and runs `burn_in` rounds of
+/// move-and-forget so long-range links are spread.
+inline core::SmallWorldNetwork stabilized(std::size_t n, std::uint64_t seed,
+                                          std::size_t burn_in,
+                                          core::Config config = {}) {
+  util::Rng rng(seed);
+  auto ids = core::random_ids(n, rng);
+  core::NetworkOptions options;
+  options.protocol = config;
+  options.seed = seed;
+  core::SmallWorldNetwork network = core::make_stable_ring(std::move(ids), options);
+  network.run_rounds(burn_in);
+  return network;
+}
+
+}  // namespace sssw::bench

@@ -1,0 +1,129 @@
+// bench_convergence — experiments E1/E2 (DESIGN.md §3).
+//
+// Paper claims (Theorems 4.3, 4.9, 4.18): from any weakly connected initial
+// state the protocol reaches the sorted list, then the sorted ring.  This
+// bench sweeps initial shapes × n and reports:
+//   rounds_list       rounds until Definition 4.8 holds
+//   rounds_ring_extra additional rounds until Definition 4.17 holds
+//   msgs_per_node     messages sent per node until the ring formed
+//   converged         fraction of trials that made it within the budget
+// Expected shape: rounds grow roughly linearly in n for chain-like states
+// (information must travel O(n) hops), messages per node stay near-linear,
+// and every trial converges.
+#include "analysis/convergence.hpp"
+#include "analysis/phases.hpp"
+#include "analysis/service.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void run_convergence(benchmark::State& state, topology::InitialShape shape) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::ConvergenceOptions options;
+  options.n = n;
+  options.trials = 4;
+  options.base_seed = bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0));
+  options.max_rounds = 4000 * n;
+
+  analysis::ConvergenceResult result;
+  for (auto _ : state) {
+    result = analysis::measure_convergence(shape, options);
+    options.base_seed += options.trials;  // fresh seeds per iteration
+  }
+  state.counters["rounds_list"] = result.list_rounds.mean;
+  state.counters["rounds_ring_extra"] = result.ring_extra_rounds.mean;
+  state.counters["msgs_per_node"] = result.messages_per_node.mean;
+  state.counters["converged"] = result.converged;
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_Convergence_RandomChain(benchmark::State& state) {
+  run_convergence(state, topology::InitialShape::kRandomChain);
+}
+void BM_Convergence_Star(benchmark::State& state) {
+  run_convergence(state, topology::InitialShape::kStar);
+}
+void BM_Convergence_RandomTree(benchmark::State& state) {
+  run_convergence(state, topology::InitialShape::kRandomTree);
+}
+void BM_Convergence_LongJumpChain(benchmark::State& state) {
+  run_convergence(state, topology::InitialShape::kLongJumpChain);
+}
+void BM_Convergence_BridgedChains(benchmark::State& state) {
+  run_convergence(state, topology::InitialShape::kBridgedChains);
+}
+void BM_Convergence_ScrambledLrl(benchmark::State& state) {
+  run_convergence(state, topology::InitialShape::kScrambledLrl);
+}
+
+#define SSSW_CONVERGENCE_ARGS \
+  ->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_Convergence_RandomChain) SSSW_CONVERGENCE_ARGS;
+BENCHMARK(BM_Convergence_Star) SSSW_CONVERGENCE_ARGS;
+BENCHMARK(BM_Convergence_RandomTree) SSSW_CONVERGENCE_ARGS;
+BENCHMARK(BM_Convergence_LongJumpChain) SSSW_CONVERGENCE_ARGS;
+BENCHMARK(BM_Convergence_BridgedChains) SSSW_CONVERGENCE_ARGS;
+BENCHMARK(BM_Convergence_ScrambledLrl) SSSW_CONVERGENCE_ARGS;
+
+void run_phases(benchmark::State& state, topology::InitialShape shape) {
+  // Where is stabilization time spent?  First round at which each phase
+  // target of §IV's proof holds (list-connected → sorted list → ring →
+  // small world).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::PhaseTimelineOptions options;
+  options.n = n;
+  options.seed = bench::kBaseSeed + n;
+  analysis::PhaseTimeline timeline;
+  for (auto _ : state) timeline = analysis::measure_phase_timeline(shape, options);
+  const auto value = [&](core::Phase phase) {
+    return timeline.at(phase).has_value() ? static_cast<double>(*timeline.at(phase))
+                                          : -1.0;
+  };
+  state.counters["r_list_conn"] = value(core::Phase::kListConnected);
+  state.counters["r_sorted_list"] = value(core::Phase::kSortedList);
+  state.counters["r_sorted_ring"] = value(core::Phase::kSortedRing);
+  state.counters["r_small_world"] = value(core::Phase::kSmallWorld);
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_Phases_RandomChain(benchmark::State& state) {
+  run_phases(state, topology::InitialShape::kRandomChain);
+}
+void BM_Phases_BridgedChains(benchmark::State& state) {
+  run_phases(state, topology::InitialShape::kBridgedChains);
+}
+BENCHMARK(BM_Phases_RandomChain)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Phases_BridgedChains)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ServiceDuringStabilization(benchmark::State& state) {
+  // Routing service quality while converging (operator's view of E1): the
+  // greedy success rate over the CP view at the quartiles of the
+  // stabilization window.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::ServiceOptions options;
+  options.n = n;
+  options.seed = bench::kBaseSeed + n;
+  options.sample_every = 4;
+  std::vector<analysis::ServicePoint> curve;
+  for (auto _ : state)
+    curve = analysis::measure_service_during_stabilization(
+        topology::InitialShape::kRandomChain, options);
+  if (!curve.empty()) {
+    state.counters["success_t0"] = curve.front().success;
+    state.counters["success_mid"] = curve[curve.size() / 2].success;
+    state.counters["success_end"] = curve.back().success;
+    state.counters["rounds_to_full"] = static_cast<double>(curve.back().round);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_ServiceDuringStabilization)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

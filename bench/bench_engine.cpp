@@ -1,0 +1,84 @@
+// bench_engine — P1 (DESIGN.md §3): simulator substrate micro-benchmarks.
+//
+// Not a paper experiment — this pins the performance envelope of the
+// substrate every experiment runs on: rounds/sec for stable rings of various
+// sizes, channel throughput, and graph-view extraction cost.
+#include "bench_common.hpp"
+#include "core/views.hpp"
+#include "sim/channel.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void BM_Engine_StableRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SmallWorldNetwork network = bench::stabilized(n, bench::kBaseSeed, 8);
+  for (auto _ : state) network.run_rounds(1);
+  const auto& counters = network.engine().counters();
+  state.SetItemsProcessed(static_cast<std::int64_t>(counters.actions));
+  state.counters["msgs_per_round"] =
+      static_cast<double>(counters.total_sent()) /
+      static_cast<double>(network.engine().round());
+}
+BENCHMARK(BM_Engine_StableRound)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Engine_AsyncRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(bench::kBaseSeed);
+  auto ids = core::random_ids(n, rng);
+  core::NetworkOptions options;
+  options.seed = bench::kBaseSeed;
+  options.scheduler = sim::SchedulerKind::kRandomAsync;
+  core::SmallWorldNetwork network = core::make_stable_ring(std::move(ids), options);
+  for (auto _ : state) network.run_rounds(1);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(network.engine().counters().actions));
+}
+BENCHMARK(BM_Engine_AsyncRound)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_Channel_PushDrain(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Channel channel;
+  util::Rng rng(1);
+  std::vector<sim::Message> out;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i)
+      channel.push(sim::Message{0, rng.uniform()});
+    channel.drain(out, sim::ReceiptOrder::kShuffled, rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Channel_PushDrain)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Views_ExtractCp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SmallWorldNetwork network = bench::stabilized(n, bench::kBaseSeed, 8);
+  const core::IdIndex index = network.make_index();
+  for (auto _ : state) {
+    auto graph = core::view_cp(network.engine(), index);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Views_ExtractCp)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_Invariant_SortedRingCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SmallWorldNetwork network = bench::stabilized(n, bench::kBaseSeed, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.sorted_ring());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Invariant_SortedRingCheck)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// bench_forget — experiment E10 (DESIGN.md §3).
+//
+// Paper claims (§IV.E): the maximal age of a long-range link is O(n) w.h.p.,
+// and all links are forgotten at least once within O(n) steps, which is what
+// lets Phase 4 take over.  Counters:
+//   max_age           largest age observed over an O(n)-round window
+//   max_age_over_n    the same normalised by n (should stay O(1)-ish)
+//   forgets_per_node  forgets per node over the window
+//   survival_err      max |empirical − closed-form| survival probability
+// Plus a micro-benchmark of φ(α) evaluation itself.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/forget.hpp"
+#include "topology/cfl.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void BM_Forget_MaxAgeScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    topology::CflProcess process(n, 0.1, util::Rng(bench::kBaseSeed));
+    process.run(8 * n);
+    core::Age max_age = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      max_age = std::max(max_age, process.age(i));
+    state.counters["max_age"] = static_cast<double>(max_age);
+    state.counters["max_age_over_n"] =
+        static_cast<double>(max_age) / static_cast<double>(n);
+    state.counters["forgets_per_node"] =
+        static_cast<double>(process.total_forgets()) / static_cast<double>(n);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Forget_MaxAgeScaling)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Forget_SurvivalLaw(benchmark::State& state) {
+  // Empirical survival curve of link ages vs the telescoped closed form
+  // (2/α)(ln2/lnα)^{1+ε} — sampled from many independent age processes.
+  constexpr double kEps = 0.1;
+  constexpr int kLinks = 20000;
+  constexpr core::Age kCheckAges[] = {4, 8, 16, 32, 64};
+  double worst = 0.0;
+  for (auto _ : state) {
+    util::Rng rng(bench::kBaseSeed);
+    std::vector<int> alive_at(std::size(kCheckAges), 0);
+    for (int link = 0; link < kLinks; ++link) {
+      core::Age age = 0;
+      bool alive = true;
+      while (alive && age <= 64) {
+        ++age;
+        if (rng.bernoulli(core::forget_probability(age, kEps))) alive = false;
+        if (alive) {
+          for (std::size_t c = 0; c < std::size(kCheckAges); ++c)
+            if (age == kCheckAges[c]) ++alive_at[c];
+        }
+      }
+    }
+    worst = 0.0;
+    for (std::size_t c = 0; c < std::size(kCheckAges); ++c) {
+      const double empirical = static_cast<double>(alive_at[c]) / kLinks;
+      const double expected = core::survival_probability(kCheckAges[c], kEps);
+      worst = std::max(worst, std::abs(empirical - expected));
+    }
+  }
+  state.counters["survival_err"] = worst;
+}
+BENCHMARK(BM_Forget_SurvivalLaw)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Forget_PhiEvaluation(benchmark::State& state) {
+  // Hot-loop cost of φ(α): called once per move for every node.
+  core::Age age = 3;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += core::forget_probability(age, 0.1);
+    age = age % 100000 + 3;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Forget_PhiEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

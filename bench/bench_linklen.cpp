@@ -1,0 +1,73 @@
+// bench_linklen — experiment E3 (DESIGN.md §3).
+//
+// Paper claim (Fact 4.21 / Theorem 4.22 via CFL [4]): after stabilization
+// the long-range-link lengths follow the 1-harmonic distribution
+// P(d) ∝ 1/(d·ln^{1+ε} d).  Reported counters:
+//   gamma            raw log-log slope of the empirical density
+//   corrected_slope  slope of ln(P·d) vs ln ln d (theory: −(1+ε) ≈ −1.1)
+//   r2               goodness of the raw power-law fit
+//   mean_len         mean link length
+// Expected shape: gamma in the −2.1..−1.3 band, flattening toward −1 as n
+// grows; protocol and CFL agree up to the pipeline dilation documented in
+// DESIGN.md.
+#include "analysis/linklen.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void report(benchmark::State& state, const analysis::LinkLenResult& result) {
+  state.counters["gamma"] = result.fit.exponent;
+  state.counters["corrected_slope"] = result.corrected.slope;
+  state.counters["r2"] = result.fit.r2;
+  state.counters["mean_len"] = result.mean_length;
+  state.counters["samples"] = static_cast<double>(result.samples);
+}
+
+void BM_LinkLen_Cfl(benchmark::State& state) {
+  analysis::LinkLenOptions options;
+  options.n = static_cast<std::size_t>(state.range(0));
+  options.seed = bench::kBaseSeed;
+  options.snapshots = 150;
+  options.burn_in = options.n * options.n / 4;  // mixing ≈ diffusion time
+  analysis::LinkLenResult result;
+  for (auto _ : state) result = analysis::measure_cfl_linklen(options);
+  report(state, result);
+}
+BENCHMARK(BM_LinkLen_Cfl)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_LinkLen_Protocol(benchmark::State& state) {
+  analysis::LinkLenOptions options;
+  options.n = static_cast<std::size_t>(state.range(0));
+  options.seed = bench::kBaseSeed;
+  options.snapshots = 80;
+  // 3× the CFL burn-in: the message pipeline dilates diffusion (DESIGN.md).
+  options.burn_in = 3 * options.n * options.n / 4;
+  analysis::LinkLenResult result;
+  for (auto _ : state)
+    result = analysis::measure_protocol_linklen(options, core::Config{});
+  report(state, result);
+}
+BENCHMARK(BM_LinkLen_Protocol)->Arg(128)->Arg(192)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_LinkLen_EpsilonSweep(benchmark::State& state) {
+  analysis::LinkLenOptions options;
+  options.n = 256;
+  options.seed = bench::kBaseSeed;
+  options.snapshots = 150;
+  options.burn_in = options.n * options.n / 4;
+  options.epsilon = static_cast<double>(state.range(0)) / 100.0;
+  analysis::LinkLenResult result;
+  for (auto _ : state) result = analysis::measure_cfl_linklen(options);
+  report(state, result);
+  state.counters["epsilon"] = options.epsilon;
+}
+BENCHMARK(BM_LinkLen_EpsilonSweep)->Arg(10)->Arg(50)->Arg(150)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// bench_navigability — experiments E11/E12 (extension; DESIGN.md §3).
+//
+// E11 (Kleinberg's navigability theorem, the foundation the paper builds
+// on): greedy routing hops as a function of the harmonic exponent α, in 1-D
+// (navigable at α = 1) and 2-D (navigable at α = 2).  Expected shape: a
+// U-curve with the minimum at α = k.
+//
+// E12 (the paper's §V future-work direction, at the process level): the 2-D
+// move-and-forget process yields a navigable torus — greedy hops comparable
+// to the α = 2 Kleinberg construction and far below the plain lattice.
+#include "bench_common.hpp"
+#include "routing/torus.hpp"
+#include "topology/cfl2d.hpp"
+#include "topology/kleinberg.hpp"
+#include "topology/torus2d.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void BM_Navigability_Ring1d(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const double alpha = static_cast<double>(state.range(0)) / 100.0;
+  util::Rng build_rng(bench::kBaseSeed);
+  const auto graph = topology::make_kleinberg_ring(
+      n, build_rng, {.long_links_per_node = 1, .exponent = alpha});
+  util::Rng rng(bench::kBaseSeed + 1);
+  routing::RoutingStats stats;
+  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, 400, n);
+  state.counters["alpha"] = alpha;
+  state.counters["hops_mean"] = stats.hops.mean;
+  state.counters["success"] = stats.success_rate;
+}
+BENCHMARK(BM_Navigability_Ring1d)
+    ->Arg(0)->Arg(50)->Arg(100)->Arg(150)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Navigability_Torus2d(benchmark::State& state) {
+  const std::size_t side = 64;  // n = 4096
+  const double alpha = static_cast<double>(state.range(0)) / 100.0;
+  const topology::Torus2d torus(side);
+  util::Rng build_rng(bench::kBaseSeed + 2);
+  const auto graph = topology::make_kleinberg_torus(
+      side, build_rng, {.long_links_per_node = 1, .exponent = alpha});
+  util::Rng rng(bench::kBaseSeed + 3);
+  routing::RoutingStats stats;
+  for (auto _ : state)
+    stats = routing::evaluate_routing_torus(graph, torus, rng, 400, side * side);
+  state.counters["alpha"] = alpha;
+  state.counters["hops_mean"] = stats.hops.mean;
+  state.counters["success"] = stats.success_rate;
+}
+BENCHMARK(BM_Navigability_Torus2d)
+    ->Arg(0)->Arg(100)->Arg(200)->Arg(300)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Navigability_Cfl2d(benchmark::State& state) {
+  // The 2-D move-and-forget process, run to mixing, routed greedily.
+  const auto side = static_cast<std::size_t>(state.range(0));
+  topology::Cfl2dProcess process(side, 0.1, util::Rng(bench::kBaseSeed + 4));
+  process.run(side * side);  // 2-D mixing is ~ (diameter)² = O(side²)
+  const auto graph = process.graph();
+  util::Rng rng(bench::kBaseSeed + 5);
+  routing::RoutingStats stats;
+  for (auto _ : state)
+    stats = routing::evaluate_routing_torus(graph, process.torus(), rng, 400,
+                                            side * side);
+  state.counters["hops_mean"] = stats.hops.mean;
+  state.counters["success"] = stats.success_rate;
+  state.counters["n"] = static_cast<double>(side * side);
+}
+BENCHMARK(BM_Navigability_Cfl2d)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Navigability_Lattice2d(benchmark::State& state) {
+  // Baseline: the bare torus lattice (greedy = Manhattan walk, Θ(side)).
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const topology::Torus2d torus(side);
+  const auto graph = topology::make_torus_lattice(side);
+  util::Rng rng(bench::kBaseSeed + 6);
+  routing::RoutingStats stats;
+  for (auto _ : state)
+    stats = routing::evaluate_routing_torus(graph, torus, rng, 400, side * side);
+  state.counters["hops_mean"] = stats.hops.mean;
+  state.counters["success"] = stats.success_rate;
+  state.counters["n"] = static_cast<double>(side * side);
+}
+BENCHMARK(BM_Navigability_Lattice2d)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

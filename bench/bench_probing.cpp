@@ -1,0 +1,94 @@
+// bench_probing — experiment E4 (DESIGN.md §3).
+//
+// Paper claim (Lemma 4.23): in the stable state a probing message takes
+// O(ln^{2+ε} d) hops to reach its destination at ring distance d.  We probe
+// every (origin, distance) pair sampled on a stabilized network and report:
+//   hops_mean / hops_p90  over all probes
+//   polylog_exp           exponent β of hops ≈ a·ln^β(d) (theory: ≤ 2+ε)
+//   reached               fraction of probes that reached the target
+// Expected shape: all probes succeed, hops grow polylogarithmically in d
+// (β around 1–2.5 at these sizes), far below the linear d/2 ring walk.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/views.hpp"
+#include "routing/probe_path.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace sssw;
+
+void BM_Probing_HopsVsDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SmallWorldNetwork network = bench::stabilized(n, bench::kBaseSeed, 4 * n);
+  const core::IdIndex index = network.make_index();
+  const auto ids = network.engine().ids();
+
+  std::vector<double> distances, hops;
+  double reached = 0.0, probes = 0.0;
+  util::Rng rng(bench::kBaseSeed ^ 0xbeef);
+
+  for (auto _ : state) {
+    distances.clear();
+    hops.clear();
+    reached = probes = 0.0;
+    // Sample targets at exponentially spaced distances from random origins.
+    for (std::size_t d = 1; d <= n / 2; d = d * 2) {
+      for (int rep = 0; rep < 64; ++rep) {
+        const std::size_t origin_rank = rng.below(n);
+        const std::size_t target_rank = (origin_rank + d) % n;
+        const sim::Id origin = ids[origin_rank];
+        const sim::Id target = ids[target_rank];
+        const auto probe = routing::probe_walk(network, origin, target, 16 * n);
+        probes += 1.0;
+        if (probe.reached) {
+          reached += 1.0;
+          distances.push_back(static_cast<double>(d));
+          hops.push_back(static_cast<double>(probe.hops));
+        }
+      }
+    }
+  }
+  const auto fit = util::fit_polylog(distances, hops);
+  const auto hop_summary = util::summarize(hops);
+  state.counters["hops_mean"] = hop_summary.mean;
+  state.counters["hops_p90"] = hop_summary.p90;
+  state.counters["polylog_exp"] = fit.exponent;
+  state.counters["fit_r2"] = fit.r2;
+  state.counters["reached"] = probes > 0 ? reached / probes : 0.0;
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Probing_HopsVsDistance)->Arg(256)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Probing_OwnLrlProbes(benchmark::State& state) {
+  // The probes Algorithm 10 actually issues: every node toward its own lrl.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SmallWorldNetwork network = bench::stabilized(n, bench::kBaseSeed, 4 * n);
+  std::vector<double> hops;
+  double reached = 0, total = 0;
+  for (auto _ : state) {
+    hops.clear();
+    reached = total = 0;
+    for (const sim::Id id : network.engine().ids()) {
+      const sim::Id target = network.node(id)->lrl();
+      if (target == id) continue;
+      const auto probe = routing::probe_walk(network, id, target, 16 * n);
+      total += 1.0;
+      if (probe.reached) {
+        reached += 1.0;
+        hops.push_back(static_cast<double>(probe.hops));
+      }
+    }
+  }
+  state.counters["hops_mean"] = util::mean_of(hops);
+  state.counters["reached"] = total > 0 ? reached / total : 1.0;
+}
+BENCHMARK(BM_Probing_OwnLrlProbes)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

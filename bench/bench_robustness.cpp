@@ -1,0 +1,98 @@
+// bench_robustness — experiment E9 (DESIGN.md §3).
+//
+// Paper claim (§I): randomized small-world overlays are robust against
+// failures, while uniformly structured overlays (Chord) are more vulnerable
+// — at comparable routing performance and with *lower degree*.  We remove a
+// random fraction of nodes and report, per topology and failure fraction:
+//   lcc_frac  largest weakly connected component among survivors
+//   success   greedy routing success among random survivor pairs
+//   degree    mean out-degree (the cost axis of the comparison)
+// Topologies: the stabilized sssw network (stationary-law links, degree ≈ 3),
+// Kleinberg q=1 (degree ≈ 3), Kleinberg q=4 (degree ≈ 6, closer to Chord),
+// and Chord (degree = log2 n ≈ 10).  Expected shape: at matched degree the
+// randomized small-world graphs keep a larger connected component than a
+// degree-reduced structure would, and Chord buys its routing robustness with
+// 3× the degree; per-edge, the small-world graphs are the robust ones.
+#include "analysis/robustness.hpp"
+#include "bench_common.hpp"
+#include "graph/metrics.hpp"
+#include "topology/chord.hpp"
+#include "topology/kleinberg.hpp"
+#include "topology/stationary.hpp"
+
+namespace {
+
+using namespace sssw;
+
+constexpr std::size_t kN = 1024;
+
+void report(benchmark::State& state, const analysis::RobustnessPoint& point,
+            const graph::Digraph& graph) {
+  state.counters["fail_frac"] = point.fail_fraction;
+  state.counters["lcc_frac"] = point.largest_component;
+  state.counters["success"] = point.routing_success;
+  state.counters["hops_mean"] = point.mean_hops;
+  state.counters["degree"] = graph::degree_stats(graph).mean;
+}
+
+analysis::RobustnessOptions common_options() {
+  analysis::RobustnessOptions options;
+  options.trials = 4;
+  options.routing_pairs = 200;
+  options.seed = bench::kBaseSeed;
+  return options;
+}
+
+void BM_Robustness_Sssw(benchmark::State& state) {
+  util::Rng build_rng(bench::kBaseSeed);
+  const auto graph = topology::make_stationary_smallworld_ring(kN, build_rng);
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  analysis::RobustnessPoint point;
+  for (auto _ : state)
+    point = analysis::measure_robustness(graph, fraction, common_options());
+  report(state, point, graph);
+}
+
+void BM_Robustness_Kleinberg1(benchmark::State& state) {
+  util::Rng rng(bench::kBaseSeed);
+  const auto graph = topology::make_kleinberg_ring(kN, rng);
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  analysis::RobustnessPoint point;
+  for (auto _ : state)
+    point = analysis::measure_robustness(graph, fraction, common_options());
+  report(state, point, graph);
+}
+
+void BM_Robustness_Kleinberg4(benchmark::State& state) {
+  util::Rng rng(bench::kBaseSeed);
+  topology::KleinbergOptions options;
+  options.long_links_per_node = 4;  // degree ≈ 6: between sssw and Chord
+  const auto graph = topology::make_kleinberg_ring(kN, rng, options);
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  analysis::RobustnessPoint point;
+  for (auto _ : state)
+    point = analysis::measure_robustness(graph, fraction, common_options());
+  report(state, point, graph);
+}
+
+void BM_Robustness_Chord(benchmark::State& state) {
+  const auto graph = topology::make_chord_ring(kN);
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  auto options = common_options();
+  options.metric = routing::Metric::kClockwise;
+  analysis::RobustnessPoint point;
+  for (auto _ : state) point = analysis::measure_robustness(graph, fraction, options);
+  report(state, point, graph);
+}
+
+#define SSSW_ROBUSTNESS_ARGS \
+  ->Arg(0)->Arg(10)->Arg(20)->Arg(30)->Arg(50)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_Robustness_Sssw) SSSW_ROBUSTNESS_ARGS;
+BENCHMARK(BM_Robustness_Kleinberg1) SSSW_ROBUSTNESS_ARGS;
+BENCHMARK(BM_Robustness_Kleinberg4) SSSW_ROBUSTNESS_ARGS;
+BENCHMARK(BM_Robustness_Chord) SSSW_ROBUSTNESS_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// bench_routing — experiment E5 (DESIGN.md §3).
+//
+// Paper claim (§I, §V): the stabilized network inherits CFL/Kleinberg greedy
+// routing in O(ln^{2+ε} n) hops — comparable to structured overlays (Chord)
+// and far better than the plain ring; Watts–Strogatz (non-navigable rewiring)
+// sits in between.  Counters per model:
+//   hops_mean / hops_p90 / success
+// Expected ordering at n = 1024: chord < kleinberg ≈ sssw ≪ watts-strogatz
+// < ring (the last grows linearly, the first two logarithmically).
+#include "bench_common.hpp"
+#include "core/views.hpp"
+#include "routing/greedy.hpp"
+#include "topology/chord.hpp"
+#include "topology/kleinberg.hpp"
+#include "topology/stationary.hpp"
+#include "topology/watts_strogatz.hpp"
+
+namespace {
+
+using namespace sssw;
+
+constexpr std::size_t kPairs = 400;
+
+void report(benchmark::State& state, const routing::RoutingStats& stats,
+            std::size_t n) {
+  state.counters["hops_mean"] = stats.hops.mean;
+  state.counters["hops_p90"] = stats.hops.p90;
+  state.counters["success"] = stats.success_rate;
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_Routing_Sssw(benchmark::State& state) {
+  // In-engine protocol network, burned to stationarity (~n² move steps, 3×
+  // for the message-pipeline dilation) — feasible up to n ≈ 256.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SmallWorldNetwork network =
+      bench::stabilized(n, bench::kBaseSeed, 3 * n * n / 4);
+  const core::IdIndex index = network.make_index();
+  const auto graph = core::view_cp(network.engine(), index);
+  util::Rng rng(bench::kBaseSeed + 1);
+  routing::RoutingStats stats;
+  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  report(state, stats, n);
+}
+
+void BM_Routing_SsswStationary(benchmark::State& state) {
+  // Large-n surrogate: ring + links sampled from the CFL stationary law
+  // (topology/stationary.hpp; substitution validated by E3 and anchored by
+  // BM_Routing_Sssw at n ≤ 256).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng build_rng(bench::kBaseSeed);
+  const auto graph = topology::make_stationary_smallworld_ring(n, build_rng);
+  util::Rng rng(bench::kBaseSeed + 8);
+  routing::RoutingStats stats;
+  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  report(state, stats, n);
+}
+
+void BM_Routing_SsswLookahead(benchmark::State& state) {
+  // One-hop-lookahead greedy on the stationary small-world graph: the
+  // classic neighbour-of-neighbour improvement, for comparison with E5's
+  // plain greedy row.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng build_rng(bench::kBaseSeed);
+  const auto graph = topology::make_stationary_smallworld_ring(n, build_rng);
+  util::Rng rng(bench::kBaseSeed + 9);
+  routing::RoutingStats stats;
+  for (auto _ : state)
+    stats = routing::evaluate_routing_lookahead(graph, rng, kPairs, n);
+  report(state, stats, n);
+}
+
+void BM_Routing_Kleinberg(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng build_rng(bench::kBaseSeed + 2);
+  const auto graph = topology::make_kleinberg_ring(n, build_rng);
+  util::Rng rng(bench::kBaseSeed + 3);
+  routing::RoutingStats stats;
+  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  report(state, stats, n);
+}
+
+void BM_Routing_PlainRing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::Digraph graph(n);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    graph.add_edge(i, static_cast<graph::Vertex>((i + 1) % n));
+    graph.add_edge(i, static_cast<graph::Vertex>((i + n - 1) % n));
+  }
+  util::Rng rng(bench::kBaseSeed + 4);
+  routing::RoutingStats stats;
+  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  report(state, stats, n);
+}
+
+void BM_Routing_WattsStrogatz(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng build_rng(bench::kBaseSeed + 5);
+  const auto graph = topology::make_watts_strogatz(n, build_rng, {.k = 4, .beta = 0.1});
+  util::Rng rng(bench::kBaseSeed + 6);
+  routing::RoutingStats stats;
+  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  report(state, stats, n);
+}
+
+void BM_Routing_Chord(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto graph = topology::make_chord_ring(n);
+  util::Rng rng(bench::kBaseSeed + 7);
+  routing::RoutingStats stats;
+  for (auto _ : state)
+    stats = routing::evaluate_routing(graph, rng, kPairs, n,
+                                      routing::Metric::kClockwise);
+  report(state, stats, n);
+}
+
+#define SSSW_ROUTING_ARGS \
+  ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+// The protocol network needs ~n² simulated rounds to mix, so it stops at
+// n = 256; the stationary surrogate and static reference models sweep on.
+BENCHMARK(BM_Routing_Sssw)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Routing_SsswStationary) SSSW_ROUTING_ARGS;
+BENCHMARK(BM_Routing_SsswLookahead)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Routing_Kleinberg) SSSW_ROUTING_ARGS;
+BENCHMARK(BM_Routing_PlainRing) SSSW_ROUTING_ARGS;
+BENCHMARK(BM_Routing_WattsStrogatz) SSSW_ROUTING_ARGS;
+BENCHMARK(BM_Routing_Chord) SSSW_ROUTING_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// resilience_demo — kill a growing fraction of a stabilized small-world
+// network and compare what survives against a Chord-style structured overlay
+// (the robustness argument from the paper's introduction).
+//
+//   ./resilience_demo [--n 512] [--seed 5] [--csv]
+#include <cstdio>
+
+#include "analysis/robustness.hpp"
+#include "topology/chord.hpp"
+#include "topology/stationary.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace sssw;
+
+int main(int argc, char** argv) {
+  std::int64_t n = 512;
+  std::int64_t seed = 5;
+  bool csv = false;
+  util::Cli cli("sssw resilience demo: random failures, sssw vs chord");
+  cli.flag("n", "number of nodes", &n);
+  cli.flag("seed", "random seed", &seed);
+  cli.flag("csv", "emit CSV instead of an aligned table", &csv);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto count = static_cast<std::size_t>(n);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  // The stabilized network's links at stationarity (in-engine mixing needs
+  // ~n² rounds; the sampled stationary law is validated by experiment E3).
+  const auto sssw_graph = topology::make_stationary_smallworld_ring(count, rng);
+  const auto chord_graph = topology::make_chord_ring(count);
+
+  analysis::RobustnessOptions sssw_options;
+  sssw_options.trials = 4;
+  sssw_options.routing_pairs = 200;
+  sssw_options.seed = static_cast<std::uint64_t>(seed);
+  analysis::RobustnessOptions chord_options = sssw_options;
+  chord_options.metric = routing::Metric::kClockwise;
+
+  util::Table table({"failures", "sssw lcc", "sssw route", "chord lcc", "chord route"});
+  for (const double fraction : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const auto sssw_point = analysis::measure_robustness(sssw_graph, fraction, sssw_options);
+    const auto chord_point =
+        analysis::measure_robustness(chord_graph, fraction, chord_options);
+    table.row()
+        .add(util::format_double(100.0 * fraction, 0) + "%")
+        .add(sssw_point.largest_component, 3)
+        .add(sssw_point.routing_success, 3)
+        .add(chord_point.largest_component, 3)
+        .add(chord_point.routing_success, 3);
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  std::printf(
+      "\nlcc = largest weakly connected component among survivors;\n"
+      "route = greedy routing success among random survivor pairs.\n"
+      "Chord loses routability faster than connectivity: its clockwise\n"
+      "fingers assume a dense ring, while the small-world links degrade\n"
+      "gracefully (the paper's §I robustness argument).\n");
+  return 0;
+}

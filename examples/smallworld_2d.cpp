@@ -1,0 +1,75 @@
+// smallworld_2d — the paper's §V future-work direction, live: run the
+// move-and-forget process on a 2-D torus and watch it become navigable.
+//
+//   ./smallworld_2d [--side 32] [--seed 9] [--csv]
+//
+// Prints greedy-routing quality over process time against the two anchors:
+// the bare lattice (worst case) and Kleinberg's static 2-harmonic
+// construction (the navigability gold standard for k = 2).
+#include <cstdio>
+
+#include "analysis/linklen.hpp"
+#include "routing/torus.hpp"
+#include "topology/cfl2d.hpp"
+#include "topology/torus2d.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace sssw;
+
+int main(int argc, char** argv) {
+  std::int64_t side = 32;
+  std::int64_t seed = 9;
+  bool csv = false;
+  util::Cli cli("sssw 2-D extension: move-and-forget on a torus becomes navigable");
+  cli.flag("side", "torus side length (n = side^2 nodes)", &side);
+  cli.flag("seed", "random seed", &seed);
+  cli.flag("csv", "emit CSV instead of an aligned table", &csv);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto s = static_cast<std::size_t>(side);
+  const std::size_t n = s * s;
+  const topology::Torus2d torus(s);
+  util::Rng eval_rng(static_cast<std::uint64_t>(seed));
+
+  // Anchors.
+  const auto lattice = topology::make_torus_lattice(s);
+  const auto lattice_stats =
+      routing::evaluate_routing_torus(lattice, torus, eval_rng, 300, n);
+  util::Rng kb_rng(static_cast<std::uint64_t>(seed) + 1);
+  const auto kleinberg = topology::make_kleinberg_torus(s, kb_rng);
+  const auto kleinberg_stats =
+      routing::evaluate_routing_torus(kleinberg, torus, eval_rng, 300, n);
+
+  std::printf("n = %zu nodes on a %lld x %lld torus\n", n,
+              static_cast<long long>(side), static_cast<long long>(side));
+  std::printf("anchors: lattice-only %.1f hops | Kleinberg 2-harmonic %.1f hops\n\n",
+              lattice_stats.hops.mean, kleinberg_stats.hops.mean);
+
+  topology::Cfl2dProcess process(s, 0.1, util::Rng(static_cast<std::uint64_t>(seed) + 2));
+  util::Table table({"process steps", "mean link len", "greedy hops", "success"});
+  std::size_t total_steps = 0;
+  for (const std::size_t chunk :
+       {s / 2, s, 2 * s, 4 * s, 8 * s, 16 * s, 32 * s, 64 * s}) {
+    process.run(chunk);
+    total_steps += chunk;
+    const auto lengths = process.link_lengths();
+    double mean_len = 0;
+    for (const std::size_t d : lengths) mean_len += static_cast<double>(d);
+    mean_len /= static_cast<double>(lengths.size());
+    const auto graph = process.graph();
+    const auto stats = routing::evaluate_routing_torus(graph, torus, eval_rng, 300, n);
+    table.row()
+        .add(total_steps)
+        .add(mean_len, 2)
+        .add(stats.hops.mean, 1)
+        .add(stats.success_rate, 2);
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  std::printf(
+      "\nThe forget law phi(age) is dimension-independent (paper, SIII.D):\n"
+      "as the token walks mix, greedy hops fall from lattice-like toward the\n"
+      "Kleinberg anchor — the 2-D small world the paper's SV conjectures.\n");
+  return 0;
+}

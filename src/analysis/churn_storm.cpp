@@ -1,0 +1,54 @@
+#include "analysis/churn_storm.hpp"
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::analysis {
+
+ChurnStormResult run_churn_storm(const ChurnStormOptions& options) {
+  util::Rng rng(options.seed);
+  core::NetworkOptions net_options;
+  net_options.protocol = options.protocol;
+  net_options.seed = options.seed;
+  core::SmallWorldNetwork network =
+      core::make_stable_ring(core::random_ids(options.n, rng), net_options);
+  network.run_rounds(options.burn_in_rounds == 0 ? 4 * options.n
+                                                 : options.burn_in_rounds);
+
+  util::Rng event_rng(options.seed ^ 0x73746f726dull);  // "storm"
+  network.engine().reset_counters();
+  ChurnStormResult result;
+
+  for (std::size_t event = 0; event < options.events; ++event) {
+    const bool join = event_rng.bernoulli(options.join_bias) ||
+                      network.size() < 4;  // never shrink below a tiny core
+    if (join) {
+      sim::Id fresh;
+      do {
+        fresh = event_rng.uniform();
+      } while (fresh == 0.0 || network.engine().contains(fresh));
+      const auto ids = network.engine().ids();
+      if (network.join(fresh, ids[event_rng.below(ids.size())])) ++result.joins;
+    } else {
+      const auto ids = network.engine().ids();
+      if (network.leave(ids[event_rng.below(ids.size())])) ++result.leaves;
+    }
+    network.run_rounds(options.event_interval);  // storm marches on
+  }
+
+  const double storm_rounds =
+      static_cast<double>(options.events * options.event_interval);
+  result.messages_per_node_round =
+      storm_rounds > 0
+          ? static_cast<double>(network.engine().counters().total_sent()) /
+                static_cast<double>(network.size()) / storm_rounds
+          : 0.0;
+
+  const auto quiesce = network.run_until_sorted_ring(options.max_quiesce_rounds);
+  result.survived = quiesce.has_value();
+  result.quiesce_rounds = quiesce.value_or(0);
+  result.final_size = network.size();
+  return result;
+}
+
+}  // namespace sssw::analysis

@@ -1,0 +1,29 @@
+// experiment.hpp — parallel Monte-Carlo trial running.
+//
+// Every experiment is "run T independent trials, summarize".  Trials are
+// embarrassingly parallel: each gets its own seed (base_seed + index), its
+// own engine, its own RNG stream.  The pool fans them across cores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sssw::analysis {
+
+/// Runs `trials` invocations of `trial(index, seed)` in parallel and returns
+/// the results in index order.  Seeds are base_seed + index, so any single
+/// trial can be replayed in isolation.
+template <typename T>
+std::vector<T> run_trials(std::size_t trials, std::uint64_t base_seed,
+                          const std::function<T(std::size_t, std::uint64_t)>& trial) {
+  std::vector<T> results(trials);
+  util::parallel_for(trials, [&](std::size_t index) {
+    results[index] = trial(index, base_seed + index);
+  });
+  return results;
+}
+
+}  // namespace sssw::analysis

@@ -1,0 +1,36 @@
+#include "analysis/phases.hpp"
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::analysis {
+
+PhaseTimeline measure_phase_timeline(topology::InitialShape shape,
+                                     const PhaseTimelineOptions& options) {
+  util::Rng rng(options.seed);
+  auto ids = core::random_ids(options.n, rng);
+  core::NetworkOptions net_options;
+  net_options.protocol = options.protocol;
+  net_options.scheduler = options.scheduler;
+  net_options.seed = options.seed;
+  core::SmallWorldNetwork network(net_options);
+  network.add_nodes(topology::make_initial_state(shape, std::move(ids), rng));
+
+  PhaseTimeline timeline;
+  const auto record = [&](std::uint64_t round) {
+    const auto phase = static_cast<std::size_t>(network.phase());
+    // A phase subsumes all earlier ones; fill every level reached.
+    for (std::size_t p = 0; p <= phase; ++p)
+      if (!timeline.first_reached[p].has_value()) timeline.first_reached[p] = round;
+    return phase == static_cast<std::size_t>(core::Phase::kSmallWorld);
+  };
+
+  if (record(0)) return timeline;
+  for (std::size_t round = 1; round <= options.max_rounds; ++round) {
+    network.run_rounds(1);
+    if (record(network.engine().round())) break;
+  }
+  return timeline;
+}
+
+}  // namespace sssw::analysis

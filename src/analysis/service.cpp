@@ -1,0 +1,46 @@
+#include "analysis/service.hpp"
+
+#include "core/network.hpp"
+#include "core/views.hpp"
+#include "routing/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::analysis {
+
+std::vector<ServicePoint> measure_service_during_stabilization(
+    topology::InitialShape shape, const ServiceOptions& options) {
+  util::Rng rng(options.seed);
+  auto ids = core::random_ids(options.n, rng);
+  core::NetworkOptions net_options;
+  net_options.protocol = options.protocol;
+  net_options.seed = options.seed;
+  core::SmallWorldNetwork network(net_options);
+  network.add_nodes(topology::make_initial_state(shape, std::move(ids), rng));
+
+  util::Rng eval_rng(options.seed ^ 0x73657276ull);  // "serv"
+  std::vector<ServicePoint> curve;
+  std::size_t tail_left = options.tail_samples;
+
+  for (std::uint64_t round = 0; round <= options.max_rounds;
+       round += options.sample_every) {
+    ServicePoint point;
+    point.round = network.engine().round();
+    point.sorted_ring = network.sorted_ring();
+    const core::IdIndex index = network.make_index();
+    const auto cp = core::view_cp(network.engine(), index);
+    const auto stats =
+        routing::evaluate_routing(cp, eval_rng, options.routing_pairs, options.n);
+    point.success = stats.success_rate;
+    point.mean_hops = stats.hops.mean;
+    curve.push_back(point);
+
+    if (point.sorted_ring) {
+      if (tail_left == 0) break;
+      --tail_left;
+    }
+    network.run_rounds(options.sample_every);
+  }
+  return curve;
+}
+
+}  // namespace sssw::analysis

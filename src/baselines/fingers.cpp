@@ -1,0 +1,162 @@
+#include "baselines/fingers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sssw::baselines {
+
+using sim::Id;
+using sim::is_node_id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+FingerNode::FingerNode(Id id, Id l, Id r, const FingerConfig& config)
+    : config_(config), id_(id), l_(l), r_(r) {
+  SSSW_CHECK_MSG(config.finger_slots >= 1, "need at least one finger slot");
+  fingers_.assign(config.finger_slots, id_);  // self = "unknown yet"
+}
+
+Id FingerNode::finger_key(std::uint32_t slot) const noexcept {
+  SSSW_DCHECK(slot >= 1 && slot <= config_.finger_slots);
+  const double key = id_ + std::pow(2.0, -static_cast<double>(slot));
+  return key < 1.0 ? key : kPosInf;  // no wraparound (documented)
+}
+
+void FingerNode::on_message(sim::Context& ctx, const sim::Message& message) {
+  switch (message.type) {
+    case kLin:
+      linearize(ctx, message.id1);
+      break;
+    case kFind:
+      if (is_node_id(message.id1) && is_node_id(message.id2))
+        forward_find(ctx, message.id1, message.id2);
+      break;
+    case kFound: {
+      // Install the owner into the slot whose key matches exactly (keys are
+      // recomputed deterministically, so bitwise equality holds).
+      if (!is_node_id(message.id1)) break;
+      for (std::uint32_t slot = 1; slot <= config_.finger_slots; ++slot) {
+        if (finger_key(slot) == message.id2) {
+          fingers_[slot - 1] = message.id1;
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void FingerNode::on_regular(sim::Context& ctx) {
+  if (l_ > kNegInf) ctx.send(l_, sim::Message{kLin, id_});
+  if (r_ < kPosInf) ctx.send(r_, sim::Message{kLin, id_});
+  // Refresh one finger per activation, round-robin.
+  next_refresh_ = next_refresh_ % config_.finger_slots + 1;
+  const Id key = finger_key(next_refresh_);
+  if (is_node_id(key)) forward_find(ctx, key, id_);
+}
+
+void FingerNode::linearize(sim::Context& ctx, Id id) {
+  if (!is_node_id(id)) return;
+  if (id > id_) {
+    if (id < r_) {
+      if (r_ < kPosInf) ctx.send(id, sim::Message{kLin, r_});
+      r_ = id;
+    } else if (id > r_) {
+      ctx.send(r_, sim::Message{kLin, id});
+    }
+  } else if (id < id_) {
+    if (id > l_) {
+      if (l_ > kNegInf) ctx.send(id, sim::Message{kLin, l_});
+      l_ = id;
+    } else if (id < l_) {
+      ctx.send(l_, sim::Message{kLin, id});
+    }
+  }
+}
+
+void FingerNode::forward_find(sim::Context& ctx, Id key, Id origin) {
+  if (key <= id_) {
+    // Overshot (stale find, or we are already past the key): we are a valid
+    // "node ≥ key" — answer with ourselves; the periodic refresh fixes any
+    // imprecision once the list is sorted.
+    ctx.send(origin, sim::Message{kFound, id_, key});
+    return;
+  }
+  if (r_ == kPosInf) {
+    // No node beyond us: we are the terminal owner for keys past the max.
+    ctx.send(origin, sim::Message{kFound, id_, key});
+    return;
+  }
+  if (r_ >= key) {
+    ctx.send(origin, sim::Message{kFound, r_, key});
+    return;
+  }
+  // Greedy clockwise: the largest known node still below the key.
+  Id best = r_;
+  for (const Id finger : fingers_)
+    if (finger > best && finger < key) best = finger;
+  ctx.send(best, sim::Message{kFind, key, origin});
+}
+
+bool fingers_sorted_list(const sim::Engine& engine) {
+  const std::vector<Id> ids = engine.ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto* node = dynamic_cast<const FingerNode*>(engine.find(ids[i]));
+    if (node == nullptr) return false;
+    const Id want_l = i == 0 ? kNegInf : ids[i - 1];
+    const Id want_r = i + 1 == ids.size() ? kPosInf : ids[i + 1];
+    if (node->l() != want_l || node->r() != want_r) return false;
+  }
+  return true;
+}
+
+bool fingers_correct(const sim::Engine& engine) {
+  const std::vector<Id> ids = engine.ids();
+  if (ids.empty()) return true;
+  bool ok = true;
+  engine.for_each([&](const sim::Process& process) {
+    const auto* node = dynamic_cast<const FingerNode*>(&process);
+    if (node == nullptr) {
+      ok = false;
+      return;
+    }
+    for (std::uint32_t slot = 1; slot <= node->fingers().size(); ++slot) {
+      const Id key = node->finger_key(slot);
+      if (!is_node_id(key)) continue;
+      const auto it = std::lower_bound(ids.begin(), ids.end(), key);
+      const Id expected = it == ids.end() ? ids.back() : *it;
+      if (node->fingers()[slot - 1] != expected) ok = false;
+    }
+  });
+  return ok;
+}
+
+graph::Digraph finger_view(const sim::Engine& engine) {
+  const std::vector<Id> ids = engine.ids();
+  graph::Digraph g(ids.size());
+  const auto rank_of = [&](Id id) {
+    return static_cast<graph::Vertex>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+  };
+  engine.for_each([&](const sim::Process& process) {
+    const auto* node = dynamic_cast<const FingerNode*>(&process);
+    if (node == nullptr) return;
+    const graph::Vertex from = rank_of(node->id());
+    const auto add = [&](Id to) {
+      if (is_node_id(to) && to != node->id() &&
+          std::binary_search(ids.begin(), ids.end(), to))
+        g.add_edge_unique(from, rank_of(to));
+    };
+    add(node->l());
+    add(node->r());
+    for (const Id finger : node->fingers()) add(finger);
+  });
+  return g;
+}
+
+}  // namespace sssw::baselines

@@ -1,0 +1,78 @@
+// fingers.hpp — a Chord-style self-stabilizing finger overlay
+// ("Re-Chord-lite", after the authors' own Re-Chord [15]).
+//
+// The paper's introduction positions the small-world protocol against
+// structured overlays: comparable polylogarithmic routing, but higher
+// degree and a uniform structure on the overlay side.  This baseline makes
+// that comparison apples-to-apples by building the structured side with the
+// same self-stabilization toolkit on the same engine:
+//
+//  * the sorted list is maintained by plain linearization (lin messages,
+//    exactly as in baselines/linearization.hpp);
+//  * on top, every node keeps fingers toward the keys id + 2^{-k} (k = 1..K,
+//    no wraparound — the max node simply has fewer fingers), refreshed
+//    round-robin: a `find(key)` message greedily walks right using fingers
+//    and the list link; the first node whose right neighbour passes the key
+//    answers with `found(owner, key)`, and the origin installs the owner as
+//    its finger for that slot.
+//
+// Fingers self-stabilize by periodic refresh: wrong fingers are overwritten
+// within one refresh cycle once the underlying list is sorted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/engine.hpp"
+
+namespace sssw::baselines {
+
+struct FingerConfig {
+  /// Number of finger slots: slot k targets id + 2^{-k}.  log2(n) slots
+  /// suffice; extra slots collapse onto the right neighbour.
+  std::uint32_t finger_slots = 16;
+};
+
+class FingerNode final : public sim::Process {
+ public:
+  static constexpr sim::MessageType kLin = 0;
+  static constexpr sim::MessageType kFind = 1;   ///< id1 = key, id2 = origin
+  static constexpr sim::MessageType kFound = 2;  ///< id1 = owner, id2 = key
+
+  FingerNode(sim::Id id, sim::Id l, sim::Id r, const FingerConfig& config);
+
+  sim::Id id() const noexcept override { return id_; }
+  sim::Id l() const noexcept { return l_; }
+  sim::Id r() const noexcept { return r_; }
+  const std::vector<sim::Id>& fingers() const noexcept { return fingers_; }
+
+  /// Finger slot k's target key, or +∞ when it falls past the id space.
+  sim::Id finger_key(std::uint32_t slot) const noexcept;
+
+  void on_message(sim::Context& ctx, const sim::Message& message) override;
+  void on_regular(sim::Context& ctx) override;
+
+ private:
+  void linearize(sim::Context& ctx, sim::Id id);
+  void forward_find(sim::Context& ctx, sim::Id key, sim::Id origin);
+
+  const FingerConfig config_;
+  const sim::Id id_;
+  sim::Id l_;
+  sim::Id r_;
+  std::vector<sim::Id> fingers_;   ///< fingers_[k] = node owning finger_key(k+1)
+  std::uint32_t next_refresh_ = 0; ///< round-robin refresh cursor
+};
+
+/// Definition 4.8 over a finger-overlay engine.
+bool fingers_sorted_list(const sim::Engine& engine);
+
+/// True when every finger of every node points at the correct owner (the
+/// smallest node id ≥ the slot key) — the overlay's legal state.
+bool fingers_correct(const sim::Engine& engine);
+
+/// Snapshot of list + finger links as a digraph over id ranks.
+graph::Digraph finger_view(const sim::Engine& engine);
+
+}  // namespace sssw::baselines

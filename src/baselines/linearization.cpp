@@ -1,0 +1,52 @@
+#include "baselines/linearization.hpp"
+
+#include <vector>
+
+namespace sssw::baselines {
+
+using sim::Id;
+using sim::is_node_id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+void LinearizationNode::on_message(sim::Context& ctx, const sim::Message& message) {
+  if (message.type == kLin) linearize(ctx, message.id1);
+}
+
+void LinearizationNode::on_regular(sim::Context& ctx) {
+  if (l_ > kNegInf) ctx.send(l_, sim::Message{kLin, id_});
+  if (r_ < kPosInf) ctx.send(r_, sim::Message{kLin, id_});
+}
+
+void LinearizationNode::linearize(sim::Context& ctx, Id id) {
+  if (!is_node_id(id)) return;
+  if (id > id_) {
+    if (id < r_) {
+      if (r_ < kPosInf) ctx.send(id, sim::Message{kLin, r_});
+      r_ = id;
+    } else if (id > r_) {
+      ctx.send(r_, sim::Message{kLin, id});
+    }
+  } else if (id < id_) {
+    if (id > l_) {
+      if (l_ > kNegInf) ctx.send(id, sim::Message{kLin, l_});
+      l_ = id;
+    } else if (id < l_) {
+      ctx.send(l_, sim::Message{kLin, id});
+    }
+  }
+}
+
+bool is_sorted_list(const sim::Engine& engine) {
+  const std::vector<Id> ids = engine.ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto* node = dynamic_cast<const LinearizationNode*>(engine.find(ids[i]));
+    if (node == nullptr) return false;
+    const Id want_l = i == 0 ? kNegInf : ids[i - 1];
+    const Id want_r = i + 1 == ids.size() ? kPosInf : ids[i + 1];
+    if (node->l() != want_l || node->r() != want_r) return false;
+  }
+  return true;
+}
+
+}  // namespace sssw::baselines

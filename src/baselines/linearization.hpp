@@ -1,0 +1,40 @@
+// linearization.hpp — plain graph linearization (Onus–Richa–Scheideler [19]).
+//
+// The classic self-stabilizing sorting protocol the paper builds on: each
+// node keeps only (l, r); the receive action is LINEARIZE without the
+// long-range-link shortcut; the regular action announces the node to both
+// neighbours.  No ring, no probing, no move-and-forget.
+//
+// It is the baseline for ablation A1: what does the paper's machinery cost
+// and buy relative to the substrate it extends?
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace sssw::baselines {
+
+class LinearizationNode final : public sim::Process {
+ public:
+  static constexpr sim::MessageType kLin = 0;
+
+  LinearizationNode(sim::Id id, sim::Id l, sim::Id r) : id_(id), l_(l), r_(r) {}
+
+  sim::Id id() const noexcept override { return id_; }
+  sim::Id l() const noexcept { return l_; }
+  sim::Id r() const noexcept { return r_; }
+
+  void on_message(sim::Context& ctx, const sim::Message& message) override;
+  void on_regular(sim::Context& ctx) override;
+
+ private:
+  void linearize(sim::Context& ctx, sim::Id id);
+
+  const sim::Id id_;
+  sim::Id l_;
+  sim::Id r_;
+};
+
+/// Definition 4.8 over a pure-linearization engine.
+bool is_sorted_list(const sim::Engine& engine);
+
+}  // namespace sssw::baselines

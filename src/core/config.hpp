@@ -1,0 +1,54 @@
+// config.hpp — protocol parameters.
+//
+// Defaults reproduce the paper's pseudocode exactly (modulo the two typo
+// fixes documented in DESIGN.md §1).  Every knob exists for a documented
+// experiment; none change the default behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace sssw::core {
+
+struct Config {
+  /// ε in the forget probability φ(α) and in the O(ln^{2+ε} n) bounds.
+  double epsilon = 0.1;
+
+  /// Regular actions between probing() executions (§III.C says probes are
+  /// periodic; the pseudocode probes every regular action, i.e. interval 1).
+  /// Experiment E8 sweeps this.
+  std::uint32_t probe_interval = 1;
+
+  /// LINEARIZE's long-range-link shortcut (`m.id > p.lrl > p.r` forwarding).
+  /// Ablation A1 turns it off to isolate what the shortcut buys.
+  bool lrl_shortcut = true;
+
+  /// Enable the probing procedure (Algorithms 5/6/10).  Disabling it breaks
+  /// the Phase-1 guarantee; exists only for ablation/tests.
+  bool probing_enabled = true;
+
+  /// Enable move-and-forget (Algorithms 3/4 + inclrl traffic).  Disabling
+  /// degenerates the protocol to linearization + ring; used by ablations.
+  bool move_and_forget_enabled = true;
+
+  /// Number of long-range links per node (extension; 1 = the paper).  Each
+  /// link runs its own move-and-forget walk; reslrl responses carry the
+  /// responder's identity (Message::id3) so the origin can match the
+  /// response to the right link.  More links buy shorter greedy routes for
+  /// proportionally more degree and inclrl/reslrl traffic (bench_ablation).
+  std::uint32_t lrl_count = 1;
+
+  /// Crash-stop failure detector (extension; 0 = disabled = paper
+  /// semantics).  The paper's leave analysis (§IV.G) assumes fail-stop with
+  /// neighbour detection; without it, a crashed node's neighbours keep
+  /// stored pointers at an identifier that never answers and the gap never
+  /// heals.  With a timeout T > 0, a node resets a stored pointer whose
+  /// heartbeat has been silent for T consecutive regular actions:
+  ///   l/r     — heartbeat is the neighbour's per-round lin announcement;
+  ///   lrl     — heartbeat is any reslrl response (a move);
+  ///   ring    — heartbeat is any resring / ring-derived traffic.
+  /// Choose T comfortably above the message round-trip (≥ 8) so live links
+  /// are never dropped in the stable state.
+  std::uint32_t failure_timeout = 0;
+};
+
+}  // namespace sssw::core

@@ -1,0 +1,30 @@
+#include "core/forget.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sssw::core {
+
+double forget_probability(Age age, double epsilon) noexcept {
+  if (age <= 2) return 0.0;
+  const auto a = static_cast<double>(age);
+  const double ratio = (a - 1.0) / a;
+  const double log_ratio = std::log(a - 1.0) / std::log(a);
+  const double phi = 1.0 - ratio * std::pow(log_ratio, 1.0 + epsilon);
+  // Numerical safety: the formula is in [0,1) for all α ≥ 3, but pow/log
+  // rounding could graze the boundary.
+  if (phi < 0.0) return 0.0;
+  if (phi >= 1.0) return 1.0 - 1e-12;
+  return phi;
+}
+
+double survival_probability(Age age, double epsilon) noexcept {
+  if (age <= 2) return 1.0;
+  // Telescoping: Π_{a=3}^{age} (a−1)/a · (ln(a−1)/ln a)^{1+ε}
+  //            = (2/age) · (ln 2 / ln age)^{1+ε}.
+  const auto a = static_cast<double>(age);
+  return (2.0 / a) * std::pow(std::log(2.0) / std::log(a), 1.0 + epsilon);
+}
+
+}  // namespace sssw::core

@@ -1,0 +1,30 @@
+// forget.hpp — the move-and-forget forget probability φ(α) (§III.D).
+//
+// A long-range link of age α is forgotten with probability
+//
+//        ⎧ 0                                         α = 0, 1, 2
+//   φ(α)=⎨
+//        ⎩ 1 − (α−1)/α · ( ln(α−1)/ln α )^{1+ε}      α ≥ 3
+//
+// where ε > 0 is an arbitrarily small parameter.  The survival probability of
+// a link to age α telescopes to (2/α)·(ln 2/ln α)^{1+ε}, which is what drives
+// the harmonic (1/d) stationary distribution of link lengths in
+// Chaintreau–Fraigniaud–Lebhar and hence the small-world property here.
+#pragma once
+
+#include <cstdint>
+
+namespace sssw::core {
+
+/// Age of a long-range link, in move steps since its last reset.
+using Age = std::uint64_t;
+
+/// φ(α) for the given ε.  Always in [0, 1).
+double forget_probability(Age age, double epsilon) noexcept;
+
+/// Closed-form survival probability: P[link still alive after age moves]
+///  = Π_{a=0}^{age} (1 − φ(a)) = (2/α)·(ln2/lnα)^{1+ε} for α ≥ 2.
+/// Used by tests and the E10 bench to validate the sampled ages.
+double survival_probability(Age age, double epsilon) noexcept;
+
+}  // namespace sssw::core

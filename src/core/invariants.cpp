@@ -1,0 +1,103 @@
+#include "core/invariants.hpp"
+
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/views.hpp"
+#include "graph/traversal.hpp"
+
+namespace sssw::core {
+
+using sim::Id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+namespace {
+
+const SmallWorldNode* as_node(const sim::Process* process) {
+  return dynamic_cast<const SmallWorldNode*>(process);
+}
+
+}  // namespace
+
+bool is_sorted_list(const sim::Engine& engine) {
+  const std::vector<Id> ids = engine.ids();  // ascending
+  if (ids.empty()) return true;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto* node = as_node(engine.find(ids[i]));
+    if (node == nullptr) return false;
+    const Id want_l = i == 0 ? kNegInf : ids[i - 1];
+    const Id want_r = i + 1 == ids.size() ? kPosInf : ids[i + 1];
+    if (node->l() != want_l || node->r() != want_r) return false;
+  }
+  return true;
+}
+
+bool is_sorted_ring(const sim::Engine& engine) {
+  if (!is_sorted_list(engine)) return false;
+  const std::vector<Id> ids = engine.ids();
+  if (ids.size() < 2) return true;  // a single node is trivially a ring
+  const auto* min_node = as_node(engine.find(ids.front()));
+  const auto* max_node = as_node(engine.find(ids.back()));
+  return min_node != nullptr && max_node != nullptr &&
+         min_node->ring() == ids.back() && max_node->ring() == ids.front();
+}
+
+bool lrls_resolve(const sim::Engine& engine) {
+  bool ok = true;
+  engine.for_each([&](const sim::Process& process) {
+    const auto* node = as_node(&process);
+    if (node == nullptr) return;
+    for (const SmallWorldNode::LongRangeLink& link : node->lrls())
+      if (!engine.contains(link.target)) ok = false;
+  });
+  return ok;
+}
+
+bool lcc_weakly_connected(const sim::Engine& engine) {
+  const IdIndex index(engine);
+  return graph::is_weakly_connected(view_lcc(engine, index));
+}
+
+bool cc_weakly_connected(const sim::Engine& engine) {
+  const IdIndex index(engine);
+  return graph::is_weakly_connected(view_cc(engine, index));
+}
+
+Phase detect_phase(const sim::Engine& engine) {
+  if (is_sorted_ring(engine)) {
+    // Phase 4 additionally requires every long-range link to have been
+    // forgotten at least once since stabilization (Thm 4.22's condition for
+    // the CFL analysis to take over).  We approximate "since stabilization"
+    // by "ever", which is what the benches measure after a burn-in.
+    bool all_forgot = true;
+    engine.for_each([&](const sim::Process& process) {
+      const auto* node = as_node(&process);
+      if (node != nullptr && node->forget_count() == 0) all_forgot = false;
+    });
+    return all_forgot ? Phase::kSmallWorld : Phase::kSortedRing;
+  }
+  if (is_sorted_list(engine)) return Phase::kSortedList;
+  if (lcc_weakly_connected(engine)) return Phase::kListConnected;
+  return cc_weakly_connected(engine) ? Phase::kWeaklyConnected : Phase::kDisconnected;
+}
+
+const char* to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kDisconnected:
+      return "disconnected";
+    case Phase::kWeaklyConnected:
+      return "weakly-connected";
+    case Phase::kListConnected:
+      return "list-connected";
+    case Phase::kSortedList:
+      return "sorted-list";
+    case Phase::kSortedRing:
+      return "sorted-ring";
+    case Phase::kSmallWorld:
+      return "small-world";
+  }
+  return "unknown";
+}
+
+}  // namespace sssw::core

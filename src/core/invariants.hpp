@@ -1,0 +1,48 @@
+// invariants.hpp — the paper's legal-state predicates and phase detector.
+//
+// Definition 4.8 (sorted list), Definition 4.17 (sorted ring), and the
+// Phase 1–4 structure of the correctness proof (§IV) as executable
+// predicates over an engine snapshot.  Tests assert them; benches use them
+// as convergence criteria.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace sssw::core {
+
+/// Definition 4.8: every node's r is its successor and l its predecessor in
+/// identifier order (with ±∞ at the ends).
+bool is_sorted_list(const sim::Engine& engine);
+
+/// Definition 4.17: sorted list + min.ring = max and max.ring = min.
+bool is_sorted_ring(const sim::Engine& engine);
+
+/// True when every long-range link points at an existing node (always true
+/// under sentinel suppression, but churn can strand links at departed ids).
+bool lrls_resolve(const sim::Engine& engine);
+
+/// Phase 1 target (Theorem 4.3): LCC weakly connected.
+bool lcc_weakly_connected(const sim::Engine& engine);
+
+/// CC weak connectivity — the precondition of the whole process.
+bool cc_weakly_connected(const sim::Engine& engine);
+
+/// The stabilization phases of §IV, ordered.  A state is classified by the
+/// strongest phase target it satisfies.
+enum class Phase : std::uint8_t {
+  kDisconnected = 0,    ///< CC not weakly connected: outside Thm 4.3's precondition
+  kWeaklyConnected = 1, ///< CC weakly connected, LCC not yet (Phase 1 in progress)
+  kListConnected = 2,   ///< Phase 1 reached: LCC weakly connected
+  kSortedList = 3,      ///< Phase 2 reached: LCP solves the sorted-list problem
+  kSortedRing = 4,      ///< Phase 3 reached: RCP solves the sorted-ring problem
+  kSmallWorld = 5,      ///< Phase 4: ring + every lrl forgotten at least once
+};
+
+Phase detect_phase(const sim::Engine& engine);
+
+const char* to_string(Phase phase) noexcept;
+
+}  // namespace sssw::core

@@ -1,0 +1,23 @@
+// messages.hpp — the seven message types of the protocol (§III).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/message.hpp"
+
+namespace sssw::core {
+
+enum MsgType : sim::MessageType {
+  kLin = 0,     ///< linearization: payload is a node identifier to integrate
+  kInclrl = 1,  ///< marks an incoming long-range link (origin announces itself)
+  kReslrl = 2,  ///< response to inclrl: (left, right) neighbours of the endpoint
+  kRing = 3,    ///< ring-edge announcement from a node missing l or r
+  kResring = 4, ///< response to ring: a better ring-edge endpoint candidate
+  kProbr = 5,   ///< rightward probing message, payload is the probe target
+  kProbl = 6,   ///< leftward probing message, payload is the probe target
+  kNumMsgTypes = 7
+};
+
+const char* msg_type_name(sim::MessageType type) noexcept;
+
+}  // namespace sssw::core

@@ -1,0 +1,166 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace sssw::core {
+
+using sim::Id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
+    : options_(options),
+      engine_(sim::EngineConfig{.scheduler = options.scheduler,
+                                .seed = options.seed,
+                                .message_loss = options.message_loss}) {}
+
+void SmallWorldNetwork::add_node(const NodeInit& init) {
+  engine_.add_process(std::make_unique<SmallWorldNode>(init, options_.protocol));
+}
+
+void SmallWorldNetwork::add_nodes(const std::vector<NodeInit>& inits) {
+  for (const NodeInit& init : inits) add_node(init);
+}
+
+std::optional<std::uint64_t> SmallWorldNetwork::run_until_sorted_list(
+    std::size_t max_rounds) {
+  const std::uint64_t start = engine_.round();
+  if (engine_.run_until([this] { return sorted_list(); }, max_rounds))
+    return engine_.round() - start;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> SmallWorldNetwork::run_until_sorted_ring(
+    std::size_t max_rounds) {
+  const std::uint64_t start = engine_.round();
+  if (engine_.run_until([this] { return sorted_ring(); }, max_rounds))
+    return engine_.round() - start;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> SmallWorldNetwork::run_until_small_world(
+    std::size_t max_rounds) {
+  const std::uint64_t start = engine_.round();
+  const auto ring_rounds = run_until_sorted_ring(max_rounds);
+  if (!ring_rounds.has_value()) return std::nullopt;
+
+  // Baseline forget counts at ring formation; Phase 4 needs one forget per
+  // node after this point (Theorem 4.22).
+  std::map<Id, std::uint64_t> baseline;
+  engine_.for_each([&](const sim::Process& process) {
+    const auto* n = dynamic_cast<const SmallWorldNode*>(&process);
+    if (n != nullptr) baseline[n->id()] = n->forget_count();
+  });
+  const auto all_forgot = [&] {
+    bool ok = true;
+    engine_.for_each([&](const sim::Process& process) {
+      const auto* n = dynamic_cast<const SmallWorldNode*>(&process);
+      if (n == nullptr) return;
+      const auto it = baseline.find(n->id());
+      const std::uint64_t before = it == baseline.end() ? 0 : it->second;
+      if (n->forget_count() <= before) ok = false;
+    });
+    return ok;
+  };
+  const std::size_t used = static_cast<std::size_t>(*ring_rounds);
+  if (used >= max_rounds) return std::nullopt;
+  if (engine_.run_until(all_forgot, max_rounds - used))
+    return engine_.round() - start;
+  return std::nullopt;
+}
+
+bool SmallWorldNetwork::join(Id new_id, Id contact) {
+  if (engine_.contains(new_id) || !engine_.contains(contact) || new_id == contact)
+    return false;
+  NodeInit init(new_id);
+  if (contact < new_id) {
+    init.l = contact;
+  } else {
+    init.r = contact;
+  }
+  add_node(init);
+  return true;
+}
+
+bool SmallWorldNetwork::leave(Id id) {
+  if (!engine_.remove_process(id)) return false;
+  // Fail-stop with neighbour detection (§IV.G): every variable pointing at
+  // the departed node is cleared, producing the "gap" the analysis studies.
+  for (const Id other : engine_.ids()) {
+    auto* n = node(other);
+    if (n == nullptr) continue;
+    if (n->l() == id) n->set_l(kNegInf);
+    if (n->r() == id) n->set_r(kPosInf);
+    if (n->ring() == id) n->set_ring(other);
+    n->reset_lrls_matching(id);
+  }
+  return true;
+}
+
+const SmallWorldNode* SmallWorldNetwork::node(Id id) const {
+  return dynamic_cast<const SmallWorldNode*>(engine_.find(id));
+}
+
+SmallWorldNode* SmallWorldNetwork::node(Id id) {
+  return dynamic_cast<SmallWorldNode*>(engine_.find(id));
+}
+
+std::vector<std::size_t> SmallWorldNetwork::lrl_lengths() const {
+  const IdIndex index(engine_);
+  std::vector<std::size_t> lengths;
+  lengths.reserve(index.size());
+  engine_.for_each([&](const sim::Process& process) {
+    const auto* n = dynamic_cast<const SmallWorldNode*>(&process);
+    if (n == nullptr) return;
+    for (const SmallWorldNode::LongRangeLink& link : n->lrls()) {
+      const Id target = link.target;
+      if (!sim::is_node_id(target) || target == n->id() || !index.contains(target))
+        continue;
+      lengths.push_back(index.ring_distance(n->id(), target));
+    }
+  });
+  return lengths;
+}
+
+SmallWorldNetwork make_stable_ring(std::vector<Id> ids, NetworkOptions options) {
+  std::sort(ids.begin(), ids.end());
+  SmallWorldNetwork network(options);
+  const std::size_t n = ids.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeInit init(ids[i]);
+    init.l = i == 0 ? kNegInf : ids[i - 1];
+    init.r = i + 1 == n ? kPosInf : ids[i + 1];
+    if (n >= 2) {
+      if (i == 0) init.ring = ids.back();
+      if (i + 1 == n) init.ring = ids.front();
+    }
+    network.add_node(init);
+  }
+  return network;
+}
+
+std::vector<Id> random_ids(std::size_t n, util::Rng& rng) {
+  std::vector<Id> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    const Id candidate = rng.uniform();
+    if (candidate == 0.0) continue;
+    ids.push_back(candidate);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  // Collisions are ~impossible at double precision but handle them anyway.
+  while (ids.size() < n) {
+    const Id candidate = rng.uniform();
+    if (candidate != 0.0 &&
+        !std::binary_search(ids.begin(), ids.end(), candidate)) {
+      ids.insert(std::upper_bound(ids.begin(), ids.end(), candidate), candidate);
+    }
+  }
+  return ids;
+}
+
+}  // namespace sssw::core

@@ -1,0 +1,101 @@
+// network.hpp — high-level facade over (engine + protocol nodes).
+//
+// This is the public API a downstream user programs against: build a network
+// from an initial state, run it to stabilization, join/leave nodes, and
+// inspect the resulting topology.  Examples and benches all go through it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/invariants.hpp"
+#include "core/node.hpp"
+#include "core/views.hpp"
+#include "sim/engine.hpp"
+
+namespace sssw::core {
+
+struct NetworkOptions {
+  Config protocol{};
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kSynchronous;
+  std::uint64_t seed = 1;
+  /// Per-message loss probability (0 = the paper's lossless model).
+  double message_loss = 0.0;
+};
+
+class SmallWorldNetwork {
+ public:
+  explicit SmallWorldNetwork(NetworkOptions options = {});
+
+  /// Adds a node with the given initial internal variables (any weakly
+  /// connected assignment is a legal starting state).
+  void add_node(const NodeInit& init);
+
+  /// Bulk construction from a list of initial states.
+  void add_nodes(const std::vector<NodeInit>& inits);
+
+  std::size_t size() const noexcept { return engine_.process_count(); }
+
+  // --- running ----------------------------------------------------------
+  void run_rounds(std::size_t rounds) { engine_.run_rounds(rounds); }
+
+  /// Runs until Definition 4.8 / 4.17 holds; returns the number of rounds
+  /// taken, or nullopt if `max_rounds` elapsed first.
+  std::optional<std::uint64_t> run_until_sorted_list(std::size_t max_rounds);
+  std::optional<std::uint64_t> run_until_sorted_ring(std::size_t max_rounds);
+
+  /// Runs until the ring holds AND every node has forgotten its long-range
+  /// link at least once after ring formation (Phase 4's entry condition).
+  std::optional<std::uint64_t> run_until_small_world(std::size_t max_rounds);
+
+  // --- churn (§IV.G) ------------------------------------------------------
+  /// Joins a new node that initially knows exactly one contact.  Returns
+  /// false if the id already exists or the contact does not.
+  bool join(sim::Id new_id, sim::Id contact);
+
+  /// Fail-stop leave with neighbour detection: the node vanishes and every
+  /// variable that pointed at it is reset (l→−∞, r→∞, ring/lrl→self), which
+  /// is exactly the "gap" state §IV.G analyses.
+  bool leave(sim::Id id);
+
+  /// Crash-stop: the node vanishes but survivors keep their stale pointers
+  /// and stale in-flight messages survive.  Recovery requires the failure
+  /// detector (Config::failure_timeout > 0) — with it disabled the gap can
+  /// wedge forever, which is why the paper assumes detected leaves.
+  bool crash(sim::Id id) { return engine_.remove_process(id, /*purge=*/false); }
+
+  // --- inspection ---------------------------------------------------------
+  sim::Engine& engine() noexcept { return engine_; }
+  const sim::Engine& engine() const noexcept { return engine_; }
+
+  bool sorted_list() const { return is_sorted_list(engine_); }
+  bool sorted_ring() const { return is_sorted_ring(engine_); }
+  Phase phase() const { return detect_phase(engine_); }
+
+  const SmallWorldNode* node(sim::Id id) const;
+  SmallWorldNode* node(sim::Id id);
+
+  /// Ring-rank lengths of all long-range links that point away from their
+  /// origin (the E3 observable).
+  std::vector<std::size_t> lrl_lengths() const;
+
+  /// Snapshot of Definition 4.2 views.
+  IdIndex make_index() const { return IdIndex(engine_); }
+
+ private:
+  NetworkOptions options_;
+  sim::Engine engine_;
+};
+
+/// Builds a network whose nodes carry the given ids and whose initial state
+/// is already the perfect sorted ring with lrl = self — the "stable modulo
+/// move-and-forget" state used by routing/probing experiments.
+SmallWorldNetwork make_stable_ring(std::vector<sim::Id> ids, NetworkOptions options = {});
+
+/// Generates n distinct uniform ids in (0,1).
+std::vector<sim::Id> random_ids(std::size_t n, util::Rng& rng);
+
+}  // namespace sssw::core

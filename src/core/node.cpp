@@ -1,0 +1,455 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sssw::core {
+
+using sim::Id;
+using sim::is_node_id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+const char* msg_type_name(sim::MessageType type) noexcept {
+  switch (type) {
+    case kLin:
+      return "lin";
+    case kInclrl:
+      return "inclrl";
+    case kReslrl:
+      return "reslrl";
+    case kRing:
+      return "ring";
+    case kResring:
+      return "resring";
+    case kProbr:
+      return "probr";
+    case kProbl:
+      return "probl";
+    default:
+      return "?";
+  }
+}
+
+SmallWorldNode::SmallWorldNode(const NodeInit& init, const Config& config)
+    : config_(config),
+      id_(init.id),
+      l_(init.l),
+      r_(init.r),
+      ring_(init.ring) {
+  SSSW_CHECK_MSG(is_node_id(id_), "node id must be finite");
+  SSSW_CHECK_MSG(l_ == kNegInf || l_ < id_, "initial l must be < id or -inf");
+  SSSW_CHECK_MSG(r_ == kPosInf || r_ > id_, "initial r must be > id or +inf");
+  SSSW_CHECK_MSG(config_.lrl_count >= 1, "lrl_count must be at least 1");
+  lrls_.resize(config_.lrl_count);
+  lrls_.front().target = init.lrl;  // the paper's single p.lrl
+  for (std::size_t i = 1; i < lrls_.size(); ++i) lrls_[i].target = id_;
+}
+
+void SmallWorldNode::send(sim::Context& ctx, Id to, sim::MessageType type, Id id1,
+                          Id id2) {
+  if (!is_node_id(to) || !is_node_id(id1)) return;
+  ctx.send(to, sim::Message{type, id1, id2});
+}
+
+bool SmallWorldNode::has_ring_edge() const noexcept {
+  return (l_ == kNegInf || r_ == kPosInf) && is_node_id(ring_) && ring_ != id_;
+}
+
+void SmallWorldNode::tidy_ring() noexcept {
+  if (l_ != kNegInf && r_ != kPosInf) ring_ = id_;
+}
+
+// --- long-range-link helpers ------------------------------------------------
+
+SmallWorldNode::LongRangeLink* SmallWorldNode::link_for_response(Id responder) noexcept {
+  if (lrls_.size() == 1) return &lrls_.front();  // paper semantics: always move
+  for (LongRangeLink& link : lrls_)
+    if (link.target == responder) return &link;
+  return nullptr;  // stale response for a link that moved on: drop
+}
+
+Id SmallWorldNode::best_right_shortcut(Id bound) const noexcept {
+  Id best = kNegInf;
+  for (const LongRangeLink& link : lrls_)
+    if (link.target <= bound && link.target > r_ && link.target > best)
+      best = link.target;
+  return best;
+}
+
+Id SmallWorldNode::best_left_shortcut(Id bound) const noexcept {
+  Id best = kPosInf;
+  for (const LongRangeLink& link : lrls_)
+    if (link.target >= bound && link.target < l_ && link.target < best)
+      best = link.target;
+  return best == kPosInf ? kNegInf : best;
+}
+
+Id SmallWorldNode::min_lrl() const noexcept {
+  Id best = lrls_.front().target;
+  for (const LongRangeLink& link : lrls_) best = std::min(best, link.target);
+  return best;
+}
+
+Id SmallWorldNode::max_lrl() const noexcept {
+  Id best = lrls_.front().target;
+  for (const LongRangeLink& link : lrls_) best = std::max(best, link.target);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 — ACTIONS OF NODE P
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
+  // Heartbeats for the failure detector: a neighbour's lin announcement, a
+  // reslrl response from a link endpoint, a resring from the ring walk.
+  if (m.type == kLin) {
+    if (m.id1 == l_) silence_l_ = 0;
+    if (m.id1 == r_) silence_r_ = 0;
+  } else if (m.type == kReslrl) {
+    if (LongRangeLink* link = link_for_response(m.id3)) link->silence = 0;
+  } else if (m.type == kResring) {
+    silence_ring_ = 0;
+  } else if (m.type == kRing && m.id1 == ring_) {
+    // In the closed ring min and max announce to each other every round;
+    // the counterpart's ring message is the steady-state heartbeat (no
+    // resring flows once the walk has converged).
+    silence_ring_ = 0;
+  }
+  switch (m.type) {
+    case kLin:
+      linearize(ctx, m.id1);
+      break;
+    case kInclrl:
+      if (config_.move_and_forget_enabled) respond_lrl(ctx, m.id1);
+      break;
+    case kReslrl:
+      if (config_.move_and_forget_enabled) move_forget(ctx, m.id1, m.id2, m.id3);
+      break;
+    case kRing:
+      respond_ring(ctx, m.id1);
+      break;
+    case kResring:
+      update_ring(m.id1);
+      break;
+    case kProbr:
+      probing_r(ctx, m.id1);
+      break;
+    case kProbl:
+      probing_l(ctx, m.id1);
+      break;
+    default:
+      break;  // unknown types are ignored (self-stabilization: garbage in channels)
+  }
+}
+
+void SmallWorldNode::suspect(Id id) {
+  if (!is_node_id(id) || id == id_) return;
+  const std::uint64_t until = detector_ticks_ + 4ull * config_.failure_timeout;
+  for (auto& entry : suspects_) {
+    if (entry.first == id) {
+      entry.second = until;
+      return;
+    }
+  }
+  if (suspects_.size() >= kMaxSuspects) suspects_.erase(suspects_.begin());
+  suspects_.emplace_back(id, until);
+}
+
+bool SmallWorldNode::is_suspected(Id id) const noexcept {
+  for (const auto& entry : suspects_)
+    if (entry.first == id && entry.second > detector_ticks_) return true;
+  return false;
+}
+
+void SmallWorldNode::tick_failure_detector() {
+  if (config_.failure_timeout == 0) return;
+  ++detector_ticks_;
+  const std::uint32_t timeout = config_.failure_timeout;
+  if (l_ != kNegInf && ++silence_l_ > timeout) {
+    suspect(l_);
+    l_ = kNegInf;
+    silence_l_ = 0;
+  }
+  if (r_ != kPosInf && ++silence_r_ > timeout) {
+    suspect(r_);
+    r_ = kPosInf;
+    silence_r_ = 0;
+  }
+  if (config_.move_and_forget_enabled) {
+    for (LongRangeLink& link : lrls_) {
+      if (link.target != id_ && ++link.silence > timeout) {
+        suspect(link.target);
+        link.target = id_;  // give up on a silent endpoint: token restarts
+        link.age = 0;
+        link.silence = 0;
+      }
+    }
+  }
+  if (ring_ != id_ && ++silence_ring_ > timeout) {
+    // The ring target is usually alive (the walk is just unfinished): reset
+    // without suspicion so the walk can revisit it.
+    ring_ = id_;
+    silence_ring_ = 0;
+  }
+}
+
+void SmallWorldNode::on_regular(sim::Context& ctx) {
+  tick_failure_detector();
+  send_id(ctx);
+  if (config_.probing_enabled) {
+    if (probe_countdown_ == 0) {
+      probing(ctx);
+      probe_countdown_ = config_.probe_interval > 0 ? config_.probe_interval - 1 : 0;
+    } else {
+      --probe_countdown_;
+    }
+  }
+  tidy_ring();
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 — LINEARIZE(id)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
+  if (!is_node_id(id)) return;
+  if (is_suspected(id)) return;  // quarantined: neither adopt nor spread
+  if (id > id_) {
+    if (id < r_) {
+      if (r_ < kPosInf) send(ctx, id, kLin, r_);
+      r_ = id;
+      silence_r_ = 0;
+      tidy_ring();
+    } else {
+      const Id shortcut =
+          config_.lrl_shortcut ? best_right_shortcut(id) : kNegInf;
+      // The paper's guard is strict (m.id > p.lrl > p.r); a shortcut equal
+      // to id would self-deliver a no-op, so exclude it.
+      if (is_node_id(shortcut) && shortcut != id) {
+        send(ctx, shortcut, kLin, id);
+      } else {
+        send(ctx, r_, kLin, id);
+      }
+    }
+  } else if (id < id_) {
+    if (id > l_) {
+      if (l_ > kNegInf) send(ctx, id, kLin, l_);
+      l_ = id;
+      silence_l_ = 0;
+      tidy_ring();
+    } else {
+      const Id shortcut = config_.lrl_shortcut ? best_left_shortcut(id) : kNegInf;
+      if (is_node_id(shortcut) && shortcut != id) {
+        send(ctx, shortcut, kLin, id);
+      } else {
+        send(ctx, l_, kLin, id);
+      }
+    }
+  }
+  // id == id_ : nothing to do.
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 — RESPONDLRL(id)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::respond_lrl(sim::Context& ctx, Id origin) {
+  if (!is_node_id(origin)) return;
+  // id3 identifies the responder so the origin can match the response to
+  // the right link (only needed for lrl_count > 1; harmless otherwise).
+  if (l_ > kNegInf && r_ < kPosInf) {
+    ctx.send(origin, sim::Message{kReslrl, l_, r_, id_});
+  } else if (l_ > kNegInf && r_ == kPosInf) {
+    // This node is a max candidate: its "right" wraps to the ring target.
+    ctx.send(origin, sim::Message{kReslrl, l_, ring_, id_});
+  } else if (l_ == kNegInf && r_ < kPosInf) {
+    // Min candidate: its "left" wraps to the ring target.  (The paper prints
+    // (p.ring, p.l) here — see the header comment for why that must be p.r.)
+    ctx.send(origin, sim::Message{kReslrl, ring_, r_, id_});
+  }
+  // l = −∞ and r = ∞: isolated view, no response (paper omits this case too).
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4 — MOVE-FORGET(id1, id2)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::move_forget(sim::Context& ctx, Id id1, Id id2, Id responder) {
+  LongRangeLink* link = link_for_response(responder);
+  if (link == nullptr) return;  // multi-link: response for a departed target
+  const bool left_ok = is_node_id(id1) && !is_suspected(id1);
+  const bool right_ok = is_node_id(id2) && !is_suspected(id2);
+  if (left_ok && right_ok) {
+    link->target = ctx.rng().coin() ? id1 : id2;  // each with probability 1/2
+  } else if (left_ok) {
+    link->target = id1;
+  } else if (right_ok) {
+    link->target = id2;
+  } else {
+    return;  // no usable candidate: keep the current link, no move happened
+  }
+  link->silence = 0;
+  ++link->age;  // one move step completed
+  max_age_ = link->age > max_age_ ? link->age : max_age_;
+  if (ctx.rng().bernoulli(forget_probability(link->age, config_.epsilon))) {
+    link->target = id_;  // the token restarts its walk from the origin
+    link->age = 0;
+    ++forgets_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 5 — PROBINGR(id)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::probing_r(sim::Context& ctx, Id target) {
+  if (!is_node_id(target) || is_suspected(target)) return;
+  const Id shortcut = best_right_shortcut(target);
+  if (is_node_id(shortcut)) {
+    send(ctx, shortcut, kProbr, target);
+  } else if (target >= r_) {
+    send(ctx, r_, kProbr, target);
+  } else if (id_ < target && target < r_) {
+    // Probe cannot advance: the destination lies in our gap — repair.
+    linearize(ctx, target);
+  }
+  // else: target ≤ id_, the probe overshot (stale message) — drop.
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 6 — PROBINGL(id)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::probing_l(sim::Context& ctx, Id target) {
+  if (!is_node_id(target) || is_suspected(target)) return;
+  const Id shortcut = best_left_shortcut(target);
+  if (is_node_id(shortcut)) {
+    send(ctx, shortcut, kProbl, target);
+  } else if (target <= l_) {
+    send(ctx, l_, kProbl, target);
+  } else if (id_ > target && target > l_) {
+    linearize(ctx, target);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 7 — RESPONDRING(id)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::respond_ring(sim::Context& ctx, Id origin) {
+  if (!is_node_id(origin) || origin == id_) return;
+  if (origin < id_) {
+    // The sender believes it is a min candidate; help it find smaller nodes
+    // or walk its ring edge toward the true max.
+    const Id low = min_lrl();
+    const Id high = max_lrl();
+    if (l_ < origin) {
+      send(ctx, origin, kLin, l_);
+    } else if (low < origin) {
+      send(ctx, origin, kLin, low);
+    } else if (high > r_) {
+      send(ctx, origin, kResring, high);
+    } else {
+      send(ctx, origin, kResring, r_);
+    }
+  } else {
+    // Max candidate: symmetric.  (Paper's first branch prints p.l — must be
+    // p.r; see header comment.)
+    const Id low = min_lrl();
+    const Id high = max_lrl();
+    if (r_ > origin) {
+      send(ctx, origin, kLin, r_);
+    } else if (high > origin) {
+      send(ctx, origin, kLin, high);
+    } else if (low < l_) {
+      send(ctx, origin, kResring, low);
+    } else {
+      send(ctx, origin, kResring, l_);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 8 — UPDATERING(id)
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::update_ring(Id candidate) {
+  if (!is_node_id(candidate) || is_suspected(candidate)) return;
+  if (l_ == kNegInf) {
+    if (candidate > ring_) ring_ = candidate;
+  } else if (r_ == kPosInf) {
+    if (candidate < ring_) ring_ = candidate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 9 — SENDID()
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::send_id(sim::Context& ctx) {
+  // A node missing a neighbour announces itself along its ring edge.  When
+  // the ring edge is still the inert self-link (the paper leaves the unset
+  // value open), the walk is bootstrapped at the node's other list
+  // neighbour: UPDATERING then drives it monotonically to the true max/min.
+  if (l_ > kNegInf) {
+    send(ctx, l_, kLin, id_);
+  } else {
+    send(ctx, ring_ != id_ ? ring_ : r_, kRing, id_);
+  }
+  if (r_ < kPosInf) {
+    send(ctx, r_, kLin, id_);
+  } else {
+    send(ctx, ring_ != id_ ? ring_ : l_, kRing, id_);
+  }
+  // Sent even when a link points home (token at home): the node answers
+  // itself with its own neighbours and the walk restarts from the origin.
+  if (config_.move_and_forget_enabled)
+    for (const LongRangeLink& link : lrls_) send(ctx, link.target, kInclrl, id_);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 10 — PROBING()
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::probing(sim::Context& ctx) {
+  if (l_ == kNegInf || r_ == kPosInf) {
+    if (is_node_id(ring_) && ring_ != id_) {
+      if (ring_ < id_) {
+        if (ring_ <= l_) {
+          send(ctx, l_, kProbl, ring_);
+        } else if (id_ > ring_ && ring_ > l_) {
+          linearize(ctx, ring_);
+        }
+      } else {
+        if (ring_ >= r_) {
+          send(ctx, r_, kProbr, ring_);
+        } else if (id_ < ring_ && ring_ < r_) {
+          linearize(ctx, ring_);
+        }
+      }
+    }
+  }
+  if (!config_.move_and_forget_enabled) return;
+  for (std::size_t i = 0; i < lrls_.size(); ++i) {
+    const Id target = lrls_[i].target;
+    if (!is_node_id(target) || target == id_) continue;
+    if (target < id_) {
+      if (target <= l_) {
+        send(ctx, l_, kProbl, target);
+      } else if (id_ > target && target > l_) {
+        linearize(ctx, target);
+      }
+    } else {
+      if (target >= r_) {
+        send(ctx, r_, kProbr, target);
+      } else if (id_ < target && target < r_) {
+        linearize(ctx, target);
+      }
+    }
+  }
+}
+
+}  // namespace sssw::core

@@ -1,0 +1,162 @@
+// node.hpp — the self-stabilizing small-world node (Algorithms 1–10, §III).
+//
+// One SmallWorldNode is one process p with internal variables
+//   p.id, p.l, p.r, p.lrl, p.ring, p.age
+// exactly as in the paper.  Its receive action dispatches on the message
+// type (Algorithm 1); its regular action runs SENDID and PROBING.
+//
+// Two deviations from the literal pseudocode, both documented in DESIGN.md:
+//  * RESPONDLRL's third branch sends (p.ring, p.r) — the paper's (p.ring,
+//    p.l) has p.l = −∞ and would coin-flip the long-range link onto −∞.
+//  * RESPONDRING's `id > p`, `p.r > id` branch sends (p.r, lin) — the paper
+//    sends (p.l, lin), which announces a *smaller* node where a larger one
+//    is required (mirror of the `id < p` branch).
+// Additionally, sends whose payload or target is a ±∞ sentinel are
+// suppressed: such messages are no-ops at any receiver, and suppressing them
+// preserves the Nor-et-al. invariant that channels only carry existing
+// identifiers.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/forget.hpp"
+#include "core/messages.hpp"
+#include "sim/engine.hpp"
+
+namespace sssw::core {
+
+/// Initial internal-variable assignment for one node; the self-stabilization
+/// claim is that *any* weakly connected assignment converges.
+struct NodeInit {
+  sim::Id id;
+  sim::Id l = sim::kNegInf;
+  sim::Id r = sim::kPosInf;
+  sim::Id lrl;   ///< defaults to id (token at home) if NaN-unset; see ctor
+  sim::Id ring;  ///< defaults to id (inert) if NaN-unset; see ctor
+
+  explicit NodeInit(sim::Id node_id)
+      : id(node_id), lrl(node_id), ring(node_id) {}
+  NodeInit(sim::Id node_id, sim::Id left, sim::Id right)
+      : id(node_id), l(left), r(right), lrl(node_id), ring(node_id) {}
+};
+
+class SmallWorldNode final : public sim::Process {
+ public:
+  SmallWorldNode(const NodeInit& init, const Config& config);
+
+  // --- sim::Process ---------------------------------------------------
+  sim::Id id() const noexcept override { return id_; }
+  void on_message(sim::Context& ctx, const sim::Message& message) override;
+  void on_regular(sim::Context& ctx) override;
+
+  /// One long-range link: the endpoint of its token's walk plus its age.
+  struct LongRangeLink {
+    sim::Id target;
+    Age age = 0;
+    std::uint32_t silence = 0;  ///< failure-detector bookkeeping
+  };
+
+  // --- state inspection (views, invariants, tests) ---------------------
+  sim::Id l() const noexcept { return l_; }
+  sim::Id r() const noexcept { return r_; }
+  /// The (first) long-range link — the paper's p.lrl.
+  sim::Id lrl() const noexcept { return lrls_.front().target; }
+  sim::Id ring() const noexcept { return ring_; }
+  Age age() const noexcept { return lrls_.front().age; }
+  /// All long-range links (size = config.lrl_count).
+  const std::vector<LongRangeLink>& lrls() const noexcept { return lrls_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// True when this node stores a ring edge per the paper's rule
+  /// ("only set if p.l = −∞ or p.r = ∞") and it is not the inert self-link.
+  bool has_ring_edge() const noexcept;
+
+  /// Number of times this node's long-range link was forgotten (reset).
+  std::uint64_t forget_count() const noexcept { return forgets_; }
+  /// Largest age the long-range link ever reached (for E10).
+  Age max_age_seen() const noexcept { return max_age_; }
+
+  // --- state mutation for tests/fault injection/snapshot restore -------
+  void set_l(sim::Id v) noexcept { l_ = v; }
+  void set_r(sim::Id v) noexcept { r_ = v; }
+  void set_lrl(sim::Id v) noexcept { lrls_.front().target = v; }
+  void set_ring(sim::Id v) noexcept { ring_ = v; }
+  void set_age(Age v) noexcept {
+    lrls_.front().age = v;
+    max_age_ = v > max_age_ ? v : max_age_;
+  }
+  /// Resets every long-range link whose target is `id` to home (used by the
+  /// fail-stop leave cleanup).
+  void reset_lrls_matching(sim::Id id) noexcept {
+    for (LongRangeLink& link : lrls_)
+      if (link.target == id) link.target = id_;
+  }
+
+ private:
+  // Algorithms 2–10.  Each method is a direct transcription; `ctx` carries
+  // the engine's send primitive and random stream.
+  void linearize(sim::Context& ctx, sim::Id id);                 // Alg. 2
+  void respond_lrl(sim::Context& ctx, sim::Id origin);           // Alg. 3
+  void move_forget(sim::Context& ctx, sim::Id id1, sim::Id id2,
+                   sim::Id responder);                           // Alg. 4
+  void probing_r(sim::Context& ctx, sim::Id target);             // Alg. 5
+  void probing_l(sim::Context& ctx, sim::Id target);             // Alg. 6
+  void respond_ring(sim::Context& ctx, sim::Id origin);          // Alg. 7
+  void update_ring(sim::Id candidate);                           // Alg. 8
+  void send_id(sim::Context& ctx);                               // Alg. 9
+  void probing(sim::Context& ctx);                               // Alg. 10
+
+  /// send with sentinel suppression: no-op if target or any payload id is
+  /// non-finite.
+  void send(sim::Context& ctx, sim::Id to, sim::MessageType type, sim::Id id1,
+            sim::Id id2 = sim::kPosInf);
+
+  /// Drops the inert ring self-link once both list neighbours exist
+  /// ("resetting them over time", §III).
+  void tidy_ring() noexcept;
+
+  /// Failure-detector bookkeeping (active only when config.failure_timeout
+  /// > 0): ticks silence counters each regular action and clears pointers
+  /// whose heartbeat timed out.
+  void tick_failure_detector();
+
+  /// Quarantines an identifier the detector just dropped: a crashed node's
+  /// id spreads epidemically (it is served in reslrl responses, adopted as
+  /// lrl targets, probed toward, and stalled probes linearize it back into
+  /// l/r) — faster than per-pointer timeouts can cull it.  While an id is
+  /// suspected, this node refuses to re-adopt it anywhere.
+  void suspect(sim::Id id);
+  bool is_suspected(sim::Id id) const noexcept;
+
+  /// The link a reslrl from `responder` should move: with one link, always
+  /// link 0 (the paper's semantics — stale responses still move the token);
+  /// with several, the link whose target is the responder, or null.
+  LongRangeLink* link_for_response(sim::Id responder) noexcept;
+
+  /// Largest link target t with t ≤ bound and t > r_ (rightward shortcut),
+  /// or kNegInf if none; mirror for the leftward query.
+  sim::Id best_right_shortcut(sim::Id bound) const noexcept;
+  sim::Id best_left_shortcut(sim::Id bound) const noexcept;
+  sim::Id min_lrl() const noexcept;
+  sim::Id max_lrl() const noexcept;
+
+  const Config config_;
+  const sim::Id id_;
+  sim::Id l_;
+  sim::Id r_;
+  std::vector<LongRangeLink> lrls_;  // size config.lrl_count, ≥ 1
+  sim::Id ring_;
+  Age max_age_ = 0;
+  std::uint64_t forgets_ = 0;
+  std::uint32_t probe_countdown_ = 0;
+  // Regular actions since the last heartbeat from each stored pointer.
+  std::uint32_t silence_l_ = 0;
+  std::uint32_t silence_r_ = 0;
+  std::uint32_t silence_ring_ = 0;
+  // Suspicion list: ids dropped for silence, quarantined until the tick in
+  // .second.  Small and bounded (kMaxSuspects, FIFO eviction).
+  static constexpr std::size_t kMaxSuspects = 8;
+  std::uint64_t detector_ticks_ = 0;
+  std::vector<std::pair<sim::Id, std::uint64_t>> suspects_;
+};
+
+}  // namespace sssw::core

@@ -1,0 +1,87 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sssw::graph {
+
+Vertex Digraph::add_vertices(std::size_t count) {
+  const auto first = static_cast<Vertex>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+void Digraph::add_edge(Vertex from, Vertex to) {
+  SSSW_DCHECK(from < adjacency_.size() && to < adjacency_.size());
+  adjacency_[from].push_back(to);
+  ++edge_count_;
+}
+
+bool Digraph::add_edge_unique(Vertex from, Vertex to) {
+  if (has_edge(from, to)) return false;
+  add_edge(from, to);
+  return true;
+}
+
+bool Digraph::has_edge(Vertex from, Vertex to) const noexcept {
+  const auto& list = adjacency_[from];
+  return std::find(list.begin(), list.end(), to) != list.end();
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const {
+  std::vector<std::size_t> degrees(vertex_count(), 0);
+  for (const auto& list : adjacency_)
+    for (const Vertex to : list) ++degrees[to];
+  return degrees;
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> all;
+  all.reserve(edge_count_);
+  for (Vertex from = 0; from < adjacency_.size(); ++from)
+    for (const Vertex to : adjacency_[from]) all.push_back({from, to});
+  return all;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(vertex_count());
+  for (Vertex from = 0; from < adjacency_.size(); ++from)
+    for (const Vertex to : adjacency_[from]) rev.add_edge(to, from);
+  return rev;
+}
+
+Digraph Digraph::undirected() const {
+  Digraph sym(vertex_count());
+  for (Vertex from = 0; from < adjacency_.size(); ++from) {
+    for (const Vertex to : adjacency_[from]) {
+      sym.add_edge_unique(from, to);
+      sym.add_edge_unique(to, from);
+    }
+  }
+  return sym;
+}
+
+Digraph Digraph::without_vertices(const std::vector<bool>& removed,
+                                  std::vector<Vertex>* old_of_new) const {
+  SSSW_CHECK(removed.size() == vertex_count());
+  std::vector<Vertex> new_of_old(vertex_count(), 0);
+  std::vector<Vertex> mapping;
+  std::size_t kept = 0;
+  for (Vertex v = 0; v < vertex_count(); ++v) {
+    if (!removed[v]) {
+      new_of_old[v] = static_cast<Vertex>(kept++);
+      mapping.push_back(v);
+    }
+  }
+  Digraph sub(kept);
+  for (Vertex from = 0; from < vertex_count(); ++from) {
+    if (removed[from]) continue;
+    for (const Vertex to : adjacency_[from])
+      if (!removed[to]) sub.add_edge(new_of_old[from], new_of_old[to]);
+  }
+  if (old_of_new != nullptr) *old_of_new = std::move(mapping);
+  return sub;
+}
+
+}  // namespace sssw::graph

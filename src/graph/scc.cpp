@@ -1,0 +1,71 @@
+#include "graph/scc.hpp"
+
+#include <limits>
+
+namespace sssw::graph {
+
+namespace {
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+}
+
+SccResult strongly_connected_components(const Digraph& graph) {
+  const std::size_t n = graph.vertex_count();
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<Vertex> stack;
+  stack.reserve(n);
+
+  struct Frame {
+    Vertex v;
+    std::size_t child;  // next out-neighbour index to visit
+  };
+  std::vector<Frame> call_stack;
+  std::uint32_t next_index = 0;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto neighbors = graph.out_neighbors(frame.v);
+      if (frame.child < neighbors.size()) {
+        const Vertex next = neighbors[frame.child++];
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          call_stack.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[next]);
+        }
+      } else {
+        const Vertex v = frame.v;
+        call_stack.pop_back();
+        if (!call_stack.empty())
+          lowlink[call_stack.back().v] = std::min(lowlink[call_stack.back().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          // v roots a component: pop the stack down to v.
+          for (;;) {
+            const Vertex w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = static_cast<std::uint32_t>(result.count);
+            if (w == v) break;
+          }
+          ++result.count;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sssw::graph

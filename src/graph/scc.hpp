@@ -1,0 +1,21 @@
+// scc.hpp — strongly connected components (iterative Tarjan).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sssw::graph {
+
+struct SccResult {
+  /// Component id per vertex; ids are in reverse topological order
+  /// (edges go from higher ids to lower or stay within a component).
+  std::vector<std::uint32_t> component;
+  std::size_t count = 0;
+};
+
+/// Tarjan's algorithm, iterative (no recursion — safe for 10^6 vertices).
+SccResult strongly_connected_components(const Digraph& graph);
+
+}  // namespace sssw::graph

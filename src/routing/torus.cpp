@@ -1,0 +1,43 @@
+#include "routing/torus.hpp"
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sssw::routing {
+
+RouteResult greedy_route_torus(const graph::Digraph& graph,
+                               const topology::Torus2d& torus, graph::Vertex source,
+                               graph::Vertex target, std::size_t max_hops) {
+  return greedy_route_metric(
+      graph, source, target, max_hops,
+      [&torus](graph::Vertex from, graph::Vertex to) { return torus.distance(from, to); });
+}
+
+RoutingStats evaluate_routing_torus(const graph::Digraph& graph,
+                                    const topology::Torus2d& torus, util::Rng& rng,
+                                    std::size_t pairs, std::size_t max_hops) {
+  RoutingStats stats;
+  const std::size_t n = graph.vertex_count();
+  if (n < 2) return stats;
+  std::vector<double> hop_samples;
+  hop_samples.reserve(pairs);
+  std::size_t successes = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto source = static_cast<graph::Vertex>(rng.below(n));
+    auto target = static_cast<graph::Vertex>(rng.below(n - 1));
+    if (target >= source) ++target;
+    const RouteResult route = greedy_route_torus(graph, torus, source, target, max_hops);
+    if (route.success) {
+      ++successes;
+      hop_samples.push_back(static_cast<double>(route.hops));
+    }
+  }
+  stats.pairs = pairs;
+  stats.success_rate =
+      pairs ? static_cast<double>(successes) / static_cast<double>(pairs) : 0.0;
+  stats.hops = util::summarize(hop_samples);
+  return stats;
+}
+
+}  // namespace sssw::routing

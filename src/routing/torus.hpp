@@ -1,0 +1,21 @@
+// torus.hpp — greedy routing on the 2-D torus (the paper's §V direction).
+//
+// Same greedy rule as the 1-D case, under the L1 torus metric.  Kleinberg's
+// theorem says this is polylogarithmic exactly when the long-range links are
+// 2-harmonic — which is what the 2-D move-and-forget process produces.
+#pragma once
+
+#include "routing/greedy.hpp"
+#include "topology/torus2d.hpp"
+
+namespace sssw::routing {
+
+RouteResult greedy_route_torus(const graph::Digraph& graph,
+                               const topology::Torus2d& torus, graph::Vertex source,
+                               graph::Vertex target, std::size_t max_hops);
+
+RoutingStats evaluate_routing_torus(const graph::Digraph& graph,
+                                    const topology::Torus2d& torus, util::Rng& rng,
+                                    std::size_t pairs, std::size_t max_hops);
+
+}  // namespace sssw::routing

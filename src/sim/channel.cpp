@@ -1,0 +1,70 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sssw::sim {
+
+void Channel::drain(std::vector<Message>& out, ReceiptOrder order, util::Rng& rng) {
+  out.clear();
+  out.swap(pending_);
+  switch (order) {
+    case ReceiptOrder::kShuffled:
+      util::shuffle(out, rng);
+      break;
+    case ReceiptOrder::kFifo:
+      break;  // already oldest-first
+    case ReceiptOrder::kLifo:
+      std::reverse(out.begin(), out.end());
+      break;
+  }
+}
+
+void Channel::drain_sample(std::vector<Message>& out, double p, util::Rng& rng) {
+  out.clear();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (rng.bernoulli(p)) {
+      out.push_back(pending_[i]);
+    } else {
+      pending_[kept++] = pending_[i];
+    }
+  }
+  pending_.resize(kept);
+  util::shuffle(out, rng);
+}
+
+std::size_t Channel::purge_references(Id id) {
+  const std::size_t before = pending_.size();
+  std::erase_if(pending_, [id](const Message& message) {
+    return message.id1 == id || message.id2 == id || message.id3 == id;
+  });
+  return before - pending_.size();
+}
+
+Message Channel::take_one(ReceiptOrder order, util::Rng& rng) {
+  SSSW_CHECK(!pending_.empty());
+  std::size_t idx = 0;
+  switch (order) {
+    case ReceiptOrder::kShuffled:
+      idx = rng.below(pending_.size());
+      break;
+    case ReceiptOrder::kFifo:
+      idx = 0;
+      break;
+    case ReceiptOrder::kLifo:
+      idx = pending_.size() - 1;
+      break;
+  }
+  const Message message = pending_[idx];
+  if (order == ReceiptOrder::kFifo) {
+    pending_.erase(pending_.begin());  // keep relative order for later takes
+  } else {
+    pending_[idx] = pending_.back();
+    pending_.pop_back();
+  }
+  return message;
+}
+
+}  // namespace sssw::sim

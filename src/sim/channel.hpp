@@ -1,0 +1,58 @@
+// channel.hpp — a node's incoming channel C (§II.B).
+//
+// The channel has unbounded capacity, loses no messages, and does not
+// preserve transmission order.  Receipt order is a scheduler policy:
+// shuffled (models fair receipt), FIFO, or LIFO (adversarial but still fair
+// under round-based draining, since every round drains the whole snapshot).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::sim {
+
+enum class ReceiptOrder : std::uint8_t {
+  kShuffled,  ///< uniformly random order (the paper's fair receipt)
+  kFifo,      ///< oldest first
+  kLifo,      ///< newest first (adversarial)
+};
+
+class Channel {
+ public:
+  void push(const Message& message) { pending_.push_back(message); }
+
+  bool empty() const noexcept { return pending_.empty(); }
+  std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Moves all currently pending messages into `out` (cleared first),
+  /// ordered per `order`.  Messages pushed after the call belong to the
+  /// next snapshot — this gives synchronous-round semantics.
+  void drain(std::vector<Message>& out, ReceiptOrder order, util::Rng& rng);
+
+  /// Removes and returns one message per `order`; channel must be non-empty.
+  Message take_one(ReceiptOrder order, util::Rng& rng);
+
+  /// Moves each pending message into `out` (cleared first) independently
+  /// with probability `p`, in shuffled order; the rest stay pending.  Models
+  /// slow channels (SchedulerKind::kDelayedRandom).
+  void drain_sample(std::vector<Message>& out, double p, util::Rng& rng);
+
+  void clear() noexcept { pending_.clear(); }
+
+  /// Read-only view of the pending messages (graph-view extraction uses the
+  /// "implicit links given by the messages in the channel" of Def. 4.2).
+  const std::vector<Message>& pending() const noexcept { return pending_; }
+
+  /// Removes every pending message that references `id` in either payload
+  /// slot; returns how many were removed.  Used by fail-stop leave: the
+  /// departed node's temporary (in-flight) links disappear with it.
+  std::size_t purge_references(Id id);
+
+ private:
+  std::vector<Message> pending_;
+};
+
+}  // namespace sssw::sim

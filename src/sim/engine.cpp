@@ -1,0 +1,240 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sssw::sim {
+
+const char* to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kSynchronous:
+      return "synchronous";
+    case SchedulerKind::kRandomAsync:
+      return "random-async";
+    case SchedulerKind::kAdversarialLifo:
+      return "adversarial-lifo";
+    case SchedulerKind::kDelayedRandom:
+      return "delayed-random";
+  }
+  return "unknown";
+}
+
+void Context::send(Id to, const Message& message) { engine_.send(to, message); }
+util::Rng& Context::rng() { return engine_.rng_; }
+std::uint64_t Context::round() const noexcept { return engine_.counters_.rounds; }
+
+Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {}
+
+void Engine::add_process(std::unique_ptr<Process> process) {
+  SSSW_CHECK(process != nullptr);
+  const Id id = process->id();
+  SSSW_CHECK_MSG(is_node_id(id), "process identifiers must be finite");
+  SSSW_CHECK_MSG(!index_.contains(id), "duplicate process identifier");
+  const std::size_t slot = slots_.size();
+  slots_.push_back(Slot{std::move(process), Channel{}});
+  index_.emplace(id, slot);
+  order_.clear();
+  order_.reserve(index_.size());
+  for (const auto& [node_id, slot_index] : index_) order_.push_back(slot_index);
+}
+
+bool Engine::remove_process(Id id, bool purge_references) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  slots_[it->second].process.reset();
+  slots_[it->second].channel.clear();
+  index_.erase(it);
+  // Fail-stop semantics (§IV.G): "the connections it had to and from other
+  // nodes also disappear" — that includes the temporary links formed by
+  // in-flight messages carrying the departed identifier.  Without this
+  // purge, a stale lin message can re-poison a neighbour's l/r with an id
+  // that no longer answers, wedging the gap open forever.
+  if (purge_references) {
+    for (const std::size_t slot_index : order_) {
+      counters_.dropped += slots_[slot_index].channel.purge_references(id);
+    }
+  }
+  order_.clear();
+  order_.reserve(index_.size());
+  for (const auto& [node_id, slot_index] : index_) order_.push_back(slot_index);
+  return true;
+}
+
+Process* Engine::find(Id id) noexcept {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : slots_[it->second].process.get();
+}
+
+const Process* Engine::find(Id id) const noexcept {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : slots_[it->second].process.get();
+}
+
+std::vector<Id> Engine::ids() const {
+  std::vector<Id> result;
+  result.reserve(index_.size());
+  for (const auto& [id, slot] : index_) result.push_back(id);
+  return result;
+}
+
+void Engine::for_each(const std::function<void(const Process&)>& fn) const {
+  for (const auto& [id, slot] : index_) fn(*slots_[slot].process);
+}
+
+void Engine::send(Id to, const Message& message) {
+  SSSW_DCHECK(message.type < kMaxMessageTypes);
+  ++counters_.sent_by_type[message.type];
+  if (send_hook_) send_hook_(to, message);
+  if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
+    ++counters_.lost;
+    return;
+  }
+  const auto it = index_.find(to);
+  if (it == index_.end()) {
+    ++counters_.dropped;  // target departed or never existed
+    return;
+  }
+  slots_[it->second].channel.push(message);
+}
+
+bool Engine::inject(Id to, const Message& message) {
+  const auto it = index_.find(to);
+  if (it == index_.end()) return false;
+  slots_[it->second].channel.push(message);
+  return true;
+}
+
+void Engine::deliver(Slot& slot, const Message& message) {
+  ++counters_.deliveries;
+  ++counters_.actions;
+  if (delivery_hook_) delivery_hook_(slot.process->id(), message);
+  Context ctx(*this);
+  slot.process->on_message(ctx, message);
+}
+
+void Engine::run_synchronous_round(ReceiptOrder order, bool shuffle_nodes) {
+  // Snapshot the node order; joins/leaves only happen between rounds.
+  std::vector<std::size_t> node_order = order_;
+  if (shuffle_nodes) util::shuffle(node_order, rng_);
+
+  // Phase A0: snapshot every channel *before* any delivery, so that messages
+  // sent while processing this round's arrivals are delivered next round
+  // regardless of node processing order (true synchronous semantics).
+  if (arrivals_.size() < slots_.size()) arrivals_.resize(slots_.size());
+  const bool delayed = config_.scheduler == SchedulerKind::kDelayedRandom;
+  for (const std::size_t slot_index : node_order) {
+    if (delayed) {
+      slots_[slot_index].channel.drain_sample(arrivals_[slot_index], 0.5, rng_);
+    } else {
+      slots_[slot_index].channel.drain(arrivals_[slot_index], order, rng_);
+    }
+  }
+
+  // Phase A: every node receives everything that was pending at round start.
+  for (const std::size_t slot_index : node_order) {
+    Slot& slot = slots_[slot_index];
+    if (!slot.process) continue;
+    for (const Message& message : arrivals_[slot_index]) deliver(slot, message);
+    arrivals_[slot_index].clear();
+  }
+  // Phase B: every node executes its (always enabled) regular action.
+  for (const std::size_t slot_index : node_order) {
+    Slot& slot = slots_[slot_index];
+    if (!slot.process) continue;
+    ++counters_.actions;
+    Context ctx(*this);
+    slot.process->on_regular(ctx);
+  }
+  ++counters_.rounds;
+}
+
+void Engine::run_async_round() {
+  std::size_t budget = config_.async_actions_per_round;
+  if (budget == 0) budget = process_count() + pending_messages();
+  if (budget == 0) budget = 1;
+
+  for (std::size_t step = 0; step < budget; ++step) {
+    const std::size_t pending = pending_messages();
+    const std::size_t enabled = process_count() + pending;
+    if (enabled == 0) break;
+    std::size_t pick = rng_.below(enabled);
+    if (pick < process_count()) {
+      Slot& slot = slots_[order_[pick]];
+      ++counters_.actions;
+      Context ctx(*this);
+      slot.process->on_regular(ctx);
+    } else {
+      pick -= process_count();
+      // Walk channels to locate the pick-th pending message.
+      for (const std::size_t slot_index : order_) {
+        Slot& slot = slots_[slot_index];
+        if (pick < slot.channel.size()) {
+          const Message message = slot.channel.take_one(ReceiptOrder::kShuffled, rng_);
+          deliver(slot, message);
+          break;
+        }
+        pick -= slot.channel.size();
+      }
+    }
+  }
+  ++counters_.rounds;
+}
+
+void Engine::run_round() {
+  switch (config_.scheduler) {
+    case SchedulerKind::kSynchronous:
+      run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
+      break;
+    case SchedulerKind::kRandomAsync:
+      run_async_round();
+      break;
+    case SchedulerKind::kAdversarialLifo:
+      run_synchronous_round(ReceiptOrder::kLifo, /*shuffle_nodes=*/false);
+      break;
+    case SchedulerKind::kDelayedRandom:
+      run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
+      break;
+  }
+}
+
+void Engine::deliver_pending_once() {
+  if (arrivals_.size() < slots_.size()) arrivals_.resize(slots_.size());
+  for (const std::size_t slot_index : order_)
+    slots_[slot_index].channel.drain(arrivals_[slot_index], ReceiptOrder::kShuffled,
+                                     rng_);
+  for (const std::size_t slot_index : order_) {
+    Slot& slot = slots_[slot_index];
+    if (!slot.process) continue;
+    for (const Message& message : arrivals_[slot_index]) deliver(slot, message);
+    arrivals_[slot_index].clear();
+  }
+}
+
+void Engine::run_rounds(std::size_t rounds) {
+  for (std::size_t i = 0; i < rounds; ++i) run_round();
+}
+
+bool Engine::run_until(const std::function<bool()>& predicate, std::size_t max_rounds) {
+  if (predicate()) return true;
+  for (std::size_t i = 0; i < max_rounds; ++i) {
+    run_round();
+    if (predicate()) return true;
+  }
+  return false;
+}
+
+void Engine::for_each_pending(
+    const std::function<void(Id to, const Message&)>& fn) const {
+  for (const auto& [id, slot_index] : index_)
+    for (const Message& message : slots_[slot_index].channel.pending())
+      fn(id, message);
+}
+
+std::size_t Engine::pending_messages() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t slot_index : order_) total += slots_[slot_index].channel.size();
+  return total;
+}
+
+}  // namespace sssw::sim

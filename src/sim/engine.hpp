@@ -1,0 +1,185 @@
+// engine.hpp — the discrete-event message-passing engine (§II of the paper).
+//
+// The engine owns a set of processes, one incoming channel per process, and a
+// scheduler.  Protocols implement the Process interface; the self-stabilizing
+// small-world node and the baseline linearization node are both plugins.
+// Everything is deterministic given (seed, scheduler, initial state).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/message.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::sim {
+
+class Engine;
+
+/// The face of the engine a process sees while executing one atomic action.
+class Context {
+ public:
+  /// Sends `message` to the node with identifier `to`.  Sends to identifiers
+  /// that no longer exist (departed nodes) are counted and dropped, matching
+  /// the leave semantics of §IV.G.  Self-sends are legal.
+  void send(Id to, const Message& message);
+
+  /// The engine's deterministic random stream.
+  util::Rng& rng();
+
+  /// Synchronous round counter (also advanced by async steps, see Engine).
+  std::uint64_t round() const noexcept;
+
+ private:
+  friend class Engine;
+  explicit Context(Engine& engine) : engine_(engine) {}
+  Engine& engine_;
+};
+
+/// A protocol node.  Actions are atomic: the engine never interleaves two
+/// callbacks.  `on_message` is the receive action, `on_regular` the
+/// always-enabled regular action (Algorithm 1's two actions).
+class Process {
+ public:
+  virtual ~Process() = default;
+  virtual Id id() const noexcept = 0;
+  virtual void on_message(Context& ctx, const Message& message) = 0;
+  virtual void on_regular(Context& ctx) = 0;
+};
+
+struct EngineConfig {
+  SchedulerKind scheduler = SchedulerKind::kSynchronous;
+  std::uint64_t seed = 1;
+  /// In kRandomAsync, number of atomic actions that count as one "round"
+  /// when 0: defaults to (#processes + #pending messages) per round.
+  std::size_t async_actions_per_round = 0;
+  /// Each sent message is independently lost with this probability.  The
+  /// paper's model assumes lossless channels; a self-stabilizing protocol
+  /// that re-announces its state every round tolerates loss anyway — this
+  /// knob lets the tests and benches demonstrate that.
+  double message_loss = 0.0;
+};
+
+struct EngineCounters {
+  std::uint64_t rounds = 0;
+  std::uint64_t actions = 0;     ///< atomic actions executed (receive + regular)
+  std::uint64_t deliveries = 0;  ///< receive actions executed
+  std::uint64_t dropped = 0;     ///< sends to departed/unknown identifiers
+  std::uint64_t lost = 0;        ///< sends eaten by the loss model
+  std::array<std::uint64_t, kMaxMessageTypes> sent_by_type{};
+
+  std::uint64_t total_sent() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto count : sent_by_type) sum += count;
+    return sum;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  /// Registers a process.  Identifiers must be unique and finite.
+  void add_process(std::unique_ptr<Process> process);
+
+  /// Removes a process: its state and channel vanish; in-flight messages to
+  /// it will be dropped on send.  With `purge_references` (the fail-stop
+  /// "leave" of §IV.G) every in-flight message carrying the departed
+  /// identifier is also removed; without it (crash-stop) stale references
+  /// stay in flight and only a failure detector can heal the survivors.
+  /// Returns false if no such process exists.
+  bool remove_process(Id id, bool purge_references = true);
+
+  std::size_t process_count() const noexcept { return order_.size(); }
+  bool contains(Id id) const noexcept { return index_.contains(id); }
+
+  /// Mutable/const access to a node's protocol state for setup & inspection.
+  Process* find(Id id) noexcept;
+  const Process* find(Id id) const noexcept;
+
+  /// All process identifiers in ascending order (index_ is an ordered map).
+  std::vector<Id> ids() const;
+
+  /// Applies `fn` to every process in ascending identifier order.
+  void for_each(const std::function<void(const Process&)>& fn) const;
+
+  /// Places a message directly into the channel of `to` without a sender —
+  /// models arbitrary initial channel contents (self-stabilization starts
+  /// from any state, including garbage in flight).  Returns false if no such
+  /// process exists.
+  bool inject(Id to, const Message& message);
+
+  /// Executes one round under the configured scheduler.
+  void run_round();
+
+  /// Executes `rounds` rounds.
+  void run_rounds(std::size_t rounds);
+
+  /// Runs until `predicate()` holds (checked after each round) or
+  /// `max_rounds` elapse; returns true iff the predicate held.
+  bool run_until(const std::function<bool()>& predicate, std::size_t max_rounds);
+
+  /// Total number of messages currently in channels.
+  std::size_t pending_messages() const noexcept;
+
+  /// Applies `fn` to every pending message with its destination identifier
+  /// (the channel's owner), in ascending owner order.
+  void for_each_pending(const std::function<void(Id to, const Message&)>& fn) const;
+
+  const EngineCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = EngineCounters{}; }
+
+  util::Rng& rng() noexcept { return rng_; }
+  std::uint64_t round() const noexcept { return counters_.rounds; }
+
+  /// Optional observer invoked on every delivery (for traces/tests).
+  using DeliveryHook = std::function<void(Id to, const Message&)>;
+  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+
+  /// Optional observer invoked on every send, before loss/routing (for
+  /// traces and the conformance tests' send capture).
+  void set_send_hook(DeliveryHook hook) { send_hook_ = std::move(hook); }
+
+  /// Testing scheduler: delivers everything currently pending (shuffled)
+  /// WITHOUT executing any regular action, and does not advance the round
+  /// counter.  Lets tests exercise a single receive action in isolation.
+  void deliver_pending_once();
+
+ private:
+  friend class Context;
+
+  struct Slot {
+    std::unique_ptr<Process> process;
+    Channel channel;
+  };
+
+  void send(Id to, const Message& message);
+  void deliver(Slot& slot, const Message& message);
+  void run_synchronous_round(ReceiptOrder order, bool shuffle_nodes);
+  void run_async_round();
+
+  EngineConfig config_;
+  util::Rng rng_;
+  // Ordered by identifier: gives deterministic iteration and O(log n) lookup.
+  std::map<Id, std::size_t> index_;
+  std::vector<Slot> slots_;        // dense storage; holes after removal
+  std::vector<std::size_t> order_; // live slot indices, ascending by id
+  EngineCounters counters_;
+  DeliveryHook delivery_hook_;
+  DeliveryHook send_hook_;
+  std::vector<Message> scratch_;   // drain buffer reused across rounds
+  std::vector<std::vector<Message>> arrivals_;  // per-slot round snapshots
+};
+
+}  // namespace sssw::sim

@@ -1,0 +1,22 @@
+// id.hpp — node identifiers per the paper's model (§II.A).
+//
+// Identifiers live in [0,1); the sentinel values −∞ / +∞ play the role of
+// "no left neighbour" / "no right neighbour" exactly as in the pseudocode
+// (p.l = −∞, p.r = ∞).  Programs stay compare-store-send: identifiers are
+// only ever compared, stored and sent.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace sssw::sim {
+
+using Id = double;
+
+inline constexpr Id kNegInf = -std::numeric_limits<double>::infinity();
+inline constexpr Id kPosInf = std::numeric_limits<double>::infinity();
+
+/// True for a real node identifier (finite), false for the ±∞ sentinels.
+inline bool is_node_id(Id id) noexcept { return std::isfinite(id); }
+
+}  // namespace sssw::sim

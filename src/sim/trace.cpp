@@ -1,0 +1,61 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sssw::sim {
+
+Trace::Trace(std::size_t capacity) : capacity_(capacity) {
+  SSSW_CHECK_MSG(capacity > 0, "trace capacity must be positive");
+}
+
+void Trace::attach(Engine& engine) {
+  engine.set_delivery_hook([this, &engine](Id to, const Message& message) {
+    record(engine.round(), to, message);
+  });
+}
+
+void Trace::detach(Engine& engine) { engine.set_delivery_hook(nullptr); }
+
+void Trace::record(std::uint64_t round, Id to, const Message& message) {
+  ++total_;
+  events_.push_back(TraceEvent{round, to, message});
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<TraceEvent> Trace::events_for(Id to) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_)
+    if (event.to == to) result.push_back(event);
+  return result;
+}
+
+std::vector<TraceEvent> Trace::events_of_type(MessageType type) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_)
+    if (event.message.type == type) result.push_back(event);
+  return result;
+}
+
+void Trace::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+std::string Trace::to_string(
+    const std::function<std::string(MessageType)>& name_of) const {
+  std::ostringstream out;
+  for (const TraceEvent& event : events_) {
+    out << "round " << event.round << ": -> " << event.to << " type=";
+    if (name_of) {
+      out << name_of(event.message.type);
+    } else {
+      out << static_cast<int>(event.message.type);
+    }
+    out << " id1=" << event.message.id1 << " id2=" << event.message.id2 << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sssw::sim

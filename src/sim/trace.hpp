@@ -1,0 +1,61 @@
+// trace.hpp — bounded in-memory event trace for debugging and analysis.
+//
+// Attaches to an engine's delivery hook and records the most recent events
+// in a ring buffer; cheap enough to leave on during experiments, rich enough
+// to reconstruct what a stuck computation was doing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace sssw::sim {
+
+struct TraceEvent {
+  std::uint64_t round = 0;
+  Id to = kNegInf;
+  Message message;
+};
+
+class Trace {
+ public:
+  /// Keeps at most `capacity` most-recent events.
+  explicit Trace(std::size_t capacity = 4096);
+
+  /// Starts recording deliveries of `engine` (replaces its delivery hook).
+  void attach(Engine& engine);
+
+  /// Stops recording (clears the engine's delivery hook).
+  void detach(Engine& engine);
+
+  void record(std::uint64_t round, Id to, const Message& message);
+
+  std::size_t size() const noexcept { return events_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t total_recorded() const noexcept { return total_; }
+  const std::deque<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Events delivered to `to`, oldest first.
+  std::vector<TraceEvent> events_for(Id to) const;
+
+  /// Events of the given message type, oldest first.
+  std::vector<TraceEvent> events_of_type(MessageType type) const;
+
+  void clear();
+
+  /// One line per event: "round 12: -> 0.5 type=3 id1=0.25 id2=inf".
+  /// `name_of` maps type codes to names (defaults to the numeric code).
+  std::string to_string(
+      const std::function<std::string(MessageType)>& name_of = nullptr) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace sssw::sim

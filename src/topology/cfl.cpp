@@ -1,0 +1,63 @@
+#include "topology/cfl.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sssw::topology {
+
+CflProcess::CflProcess(std::size_t n, double epsilon, util::Rng rng)
+    : epsilon_(epsilon), rng_(rng), position_(n), age_(n, 0) {
+  SSSW_CHECK(n >= 2);
+  for (std::size_t i = 0; i < n; ++i) position_[i] = i;  // tokens start at home
+}
+
+void CflProcess::step() {
+  const std::size_t n = position_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Move: ±1 on the ring, each with probability 1/2.
+    if (rng_.coin()) {
+      position_[i] = (position_[i] + 1) % n;
+    } else {
+      position_[i] = (position_[i] + n - 1) % n;
+    }
+    ++age_[i];
+    // Forget: token returns home, age resets.
+    if (rng_.bernoulli(core::forget_probability(age_[i], epsilon_))) {
+      position_[i] = i;
+      age_[i] = 0;
+      ++forgets_;
+    }
+  }
+  ++steps_;
+}
+
+void CflProcess::run(std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) step();
+}
+
+std::vector<std::size_t> CflProcess::link_lengths() const {
+  const std::size_t n = position_.size();
+  std::vector<std::size_t> lengths;
+  lengths.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t direct =
+        position_[i] > i ? position_[i] - i : i - position_[i];
+    lengths.push_back(std::min(direct, n - direct));
+  }
+  return lengths;
+}
+
+graph::Digraph CflProcess::graph() const {
+  const std::size_t n = position_.size();
+  graph::Digraph g(n);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<graph::Vertex>((i + 1) % n));
+    g.add_edge(i, static_cast<graph::Vertex>((i + n - 1) % n));
+    if (position_[i] != i)
+      g.add_edge_unique(i, static_cast<graph::Vertex>(position_[i]));
+  }
+  return g;
+}
+
+}  // namespace sssw::topology

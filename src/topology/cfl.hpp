@@ -1,0 +1,56 @@
+// cfl.hpp — the Chaintreau–Fraigniaud–Lebhar move-and-forget process [4]
+// on a *static* 1-D ring.
+//
+// This is the paper's substrate reference: each node owns a token that
+// performs a ±1 random walk on the ring; the token is forgotten (sent home)
+// with probability φ(age).  The node's long-range link points at the token.
+// The stationary distribution of link lengths is harmonic up to polylog
+// factors ("networks become navigable as nodes move and forget").
+//
+// Implemented standalone so that experiment E3 can validate the in-protocol
+// variant (SmallWorldNode's Algorithms 3/4/9) against the pure process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/forget.hpp"
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::topology {
+
+class CflProcess {
+ public:
+  CflProcess(std::size_t n, double epsilon, util::Rng rng);
+
+  std::size_t size() const noexcept { return position_.size(); }
+
+  /// One synchronous step: every token moves ±1 and may be forgotten.
+  void step();
+  void run(std::size_t steps);
+
+  /// Ring position of node i's token (== the endpoint of its lrl).
+  std::size_t token_position(std::size_t i) const noexcept { return position_[i]; }
+  core::Age age(std::size_t i) const noexcept { return age_[i]; }
+
+  /// Ring distance from each node to its token (the link-length sample).
+  std::vector<std::size_t> link_lengths() const;
+
+  /// Ring + current long-range links as a digraph (vertex index == rank).
+  graph::Digraph graph() const;
+
+  std::uint64_t steps_taken() const noexcept { return steps_; }
+  std::uint64_t total_forgets() const noexcept { return forgets_; }
+
+ private:
+  double epsilon_;
+  util::Rng rng_;
+  std::vector<std::size_t> position_;
+  std::vector<core::Age> age_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t forgets_ = 0;
+};
+
+}  // namespace sssw::topology

@@ -1,0 +1,48 @@
+#include "topology/cfl2d.hpp"
+
+namespace sssw::topology {
+
+Cfl2dProcess::Cfl2dProcess(std::size_t side, double epsilon, util::Rng rng)
+    : torus_(side), epsilon_(epsilon), rng_(rng),
+      position_(torus_.vertex_count()), age_(torus_.vertex_count(), 0) {
+  for (graph::Vertex v = 0; v < torus_.vertex_count(); ++v) position_[v] = v;
+}
+
+void Cfl2dProcess::step() {
+  const auto side = static_cast<std::uint32_t>(torus_.side());
+  for (graph::Vertex node = 0; node < position_.size(); ++node) {
+    TorusPoint p = torus_.point_of(position_[node]);
+    // ±1 in each dimension, each direction with probability 1/2.
+    p.x = rng_.coin() ? (p.x + 1) % side : (p.x + side - 1) % side;
+    p.y = rng_.coin() ? (p.y + 1) % side : (p.y + side - 1) % side;
+    position_[node] = torus_.vertex_of(p);
+    ++age_[node];
+    if (rng_.bernoulli(core::forget_probability(age_[node], epsilon_))) {
+      position_[node] = node;  // token returns home
+      age_[node] = 0;
+      ++forgets_;
+    }
+  }
+  ++steps_;
+}
+
+void Cfl2dProcess::run(std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) step();
+}
+
+std::vector<std::size_t> Cfl2dProcess::link_lengths() const {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(position_.size());
+  for (graph::Vertex node = 0; node < position_.size(); ++node)
+    lengths.push_back(torus_.distance(node, position_[node]));
+  return lengths;
+}
+
+graph::Digraph Cfl2dProcess::graph() const {
+  graph::Digraph g = make_torus_lattice(torus_.side());
+  for (graph::Vertex node = 0; node < position_.size(); ++node)
+    if (position_[node] != node) g.add_edge_unique(node, position_[node]);
+  return g;
+}
+
+}  // namespace sssw::topology

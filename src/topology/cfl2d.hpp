@@ -1,0 +1,59 @@
+// cfl2d.hpp — the move-and-forget process on the 2-D torus (the paper's
+// §V future-work direction, at the process level).
+//
+// The CFL process [4] is defined on Zᵏ: every node owns a token that
+// performs a lattice random walk ("altering its position in the lattice by
+// ±1 in each dimension with probability 1/2") and is forgotten with the
+// *dimension-independent* probability φ(age).  In 2-D the stationary link
+// lengths follow the 2-harmonic law P(target) ∝ 1/dist², i.e.
+// P(length = d) ∝ N(d)/d² ≈ const/d — which is what makes greedy routing on
+// the torus polylogarithmic (Kleinberg's k = 2 case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/forget.hpp"
+#include "graph/digraph.hpp"
+#include "topology/torus2d.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::topology {
+
+class Cfl2dProcess {
+ public:
+  Cfl2dProcess(std::size_t side, double epsilon, util::Rng rng);
+
+  const Torus2d& torus() const noexcept { return torus_; }
+  std::size_t size() const noexcept { return position_.size(); }
+
+  /// One synchronous step: every token moves ±1 in each dimension (each
+  /// direction with probability 1/2, independently) and may be forgotten.
+  void step();
+  void run(std::size_t steps);
+
+  graph::Vertex token_position(graph::Vertex node) const noexcept {
+    return position_[node];
+  }
+  core::Age age(graph::Vertex node) const noexcept { return age_[node]; }
+
+  /// L1 torus distance from each node to its token.
+  std::vector<std::size_t> link_lengths() const;
+
+  /// Torus lattice + current long-range links.
+  graph::Digraph graph() const;
+
+  std::uint64_t steps_taken() const noexcept { return steps_; }
+  std::uint64_t total_forgets() const noexcept { return forgets_; }
+
+ private:
+  Torus2d torus_;
+  double epsilon_;
+  util::Rng rng_;
+  std::vector<graph::Vertex> position_;
+  std::vector<core::Age> age_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t forgets_ = 0;
+};
+
+}  // namespace sssw::topology

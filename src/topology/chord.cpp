@@ -1,0 +1,16 @@
+#include "topology/chord.hpp"
+
+namespace sssw::topology {
+
+graph::Digraph make_chord_ring(std::size_t n) {
+  graph::Digraph g(n);
+  if (n < 2) return g;
+  for (graph::Vertex i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<graph::Vertex>((i + 1) % n));
+    for (std::size_t stride = 2; stride < n; stride *= 2)
+      g.add_edge_unique(i, static_cast<graph::Vertex>((i + stride) % n));
+  }
+  return g;
+}
+
+}  // namespace sssw::topology

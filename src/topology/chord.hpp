@@ -1,0 +1,20 @@
+// chord.hpp — a Chord-like structured overlay (finger-table ring).
+//
+// The paper's introduction positions small-world overlays against structured
+// overlays (CAN/Pastry/Chord): comparable polylogarithmic routing but, the
+// paper argues, better robustness because the structure is randomized rather
+// than uniform.  This static finger-table ring is the comparator for E5
+// (routing hops) and E9 (robustness under node failures).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace sssw::topology {
+
+/// Vertex i occupies ring rank i; edges to (i+1) mod n and to
+/// (i + 2^k) mod n for every 2^k < n — the classic finger table.
+graph::Digraph make_chord_ring(std::size_t n);
+
+}  // namespace sssw::topology

@@ -1,0 +1,52 @@
+#include "topology/kleinberg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sssw::topology {
+
+std::vector<double> build_harmonic_cdf(std::size_t max_distance, double exponent) {
+  SSSW_CHECK(max_distance >= 1);
+  std::vector<double> cdf(max_distance);
+  double total = 0.0;
+  for (std::size_t d = 1; d <= max_distance; ++d) {
+    total += std::pow(static_cast<double>(d), -exponent);
+    cdf[d - 1] = total;
+  }
+  for (double& value : cdf) value /= total;
+  cdf.back() = 1.0;  // guard against rounding
+  return cdf;
+}
+
+std::size_t sample_harmonic_distance(const std::vector<double>& cdf, util::Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::size_t>(it - cdf.begin()) + 1;
+}
+
+graph::Digraph make_kleinberg_ring(std::size_t n, util::Rng& rng,
+                                   const KleinbergOptions& options) {
+  graph::Digraph g(n);
+  if (n < 2) return g;
+  for (graph::Vertex i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<graph::Vertex>((i + 1) % n));
+    g.add_edge(i, static_cast<graph::Vertex>((i + n - 1) % n));
+  }
+  if (n < 4) return g;
+  const auto cdf = build_harmonic_cdf(n / 2, options.exponent);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    for (std::size_t q = 0; q < options.long_links_per_node; ++q) {
+      const std::size_t distance = sample_harmonic_distance(cdf, rng);
+      const bool clockwise = rng.coin();
+      const std::size_t target =
+          clockwise ? (i + distance) % n : (i + n - distance % n) % n;
+      if (target != i) g.add_edge_unique(i, static_cast<graph::Vertex>(target));
+    }
+  }
+  return g;
+}
+
+}  // namespace sssw::topology

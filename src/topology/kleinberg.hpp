@@ -1,0 +1,33 @@
+// kleinberg.hpp — Kleinberg's 1-D small-world construction (STOC 2000).
+//
+// A ring of n nodes, each with its two lattice neighbours plus q long-range
+// links whose ring distance d is sampled from the 1-harmonic distribution
+// P(d) ∝ 1/d.  This is the static construction whose navigability the
+// protocol's stabilized state should match (experiment E5's gold standard).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::topology {
+
+struct KleinbergOptions {
+  std::size_t long_links_per_node = 1;
+  /// Harmonic exponent; 1 is navigable, other values degrade greedy routing.
+  double exponent = 1.0;
+};
+
+/// Vertex i occupies ring rank i; edges i→i±1 plus sampled long links.
+graph::Digraph make_kleinberg_ring(std::size_t n, util::Rng& rng,
+                                   const KleinbergOptions& options = {});
+
+/// Samples a ring distance in [1, n/2] from P(d) ∝ d^(−exponent) by
+/// inverse-CDF over the precomputed table in `cdf` (see build_harmonic_cdf).
+std::size_t sample_harmonic_distance(const std::vector<double>& cdf, util::Rng& rng);
+
+/// Cumulative distribution of P(d) ∝ d^(−exponent), d = 1..max_distance.
+std::vector<double> build_harmonic_cdf(std::size_t max_distance, double exponent);
+
+}  // namespace sssw::topology

@@ -1,0 +1,47 @@
+#include "topology/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sssw::topology {
+
+std::vector<double> build_cfl_stationary_cdf(std::size_t max_distance, double epsilon) {
+  SSSW_CHECK(max_distance >= 1);
+  std::vector<double> cdf(max_distance);
+  double total = 0.0;
+  for (std::size_t d = 1; d <= max_distance; ++d) {
+    const auto x = static_cast<double>(d);
+    total += 1.0 / (x * std::pow(std::log(x + std::exp(1.0)), 1.0 + epsilon));
+    cdf[d - 1] = total;
+  }
+  for (double& value : cdf) value /= total;
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+graph::Digraph make_stationary_smallworld_ring(std::size_t n, util::Rng& rng,
+                                               const StationaryOptions& options) {
+  graph::Digraph g(n);
+  if (n < 2) return g;
+  for (graph::Vertex i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<graph::Vertex>((i + 1) % n));
+    g.add_edge(i, static_cast<graph::Vertex>((i + n - 1) % n));
+  }
+  if (n < 4) return g;
+  const auto cdf = build_cfl_stationary_cdf(n / 2, options.epsilon);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    for (std::size_t q = 0; q < options.links_per_node; ++q) {
+      const double u = rng.uniform();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      const std::size_t distance = static_cast<std::size_t>(it - cdf.begin()) + 1;
+      const std::size_t target =
+          rng.coin() ? (i + distance) % n : (i + n - distance) % n;
+      if (target != i) g.add_edge_unique(i, static_cast<graph::Vertex>(target));
+    }
+  }
+  return g;
+}
+
+}  // namespace sssw::topology

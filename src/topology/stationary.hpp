@@ -1,0 +1,34 @@
+// stationary.hpp — the stabilized network's long-range links at scale.
+//
+// The stationary law of the CFL move-and-forget process is
+//     P(link length = d) ∝ 1 / (d · ln^{1+ε}(d + e))
+// (harmonic with a polylog correction).  Mixing to stationarity needs ~n²
+// move steps, which an in-engine simulation can afford only up to n ≈ 256;
+// the large-n routing/robustness experiments (E5/E9) therefore sample links
+// directly from this law.  Experiment E3 validates the substitution: at
+// n ≤ 256 the in-engine protocol, the standalone CFL process, and this
+// sampler agree on the length distribution (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::topology {
+
+struct StationaryOptions {
+  double epsilon = 0.1;
+  std::size_t links_per_node = 1;
+};
+
+/// CDF of P(d) ∝ 1/(d·ln^{1+ε}(d+e)) for d = 1..max_distance.
+std::vector<double> build_cfl_stationary_cdf(std::size_t max_distance, double epsilon);
+
+/// Ring (vertex index == rank, edges both directions) plus per-node
+/// long-range links sampled from the CFL stationary law.
+graph::Digraph make_stationary_smallworld_ring(std::size_t n, util::Rng& rng,
+                                               const StationaryOptions& options = {});
+
+}  // namespace sssw::topology

@@ -1,0 +1,96 @@
+#include "topology/torus2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sssw::topology {
+
+Torus2d::Torus2d(std::size_t side) : side_(side) {
+  SSSW_CHECK_MSG(side >= 2, "torus side must be at least 2");
+}
+
+graph::Vertex Torus2d::vertex_of(TorusPoint p) const noexcept {
+  return static_cast<graph::Vertex>(static_cast<std::size_t>(p.y) * side_ + p.x);
+}
+
+TorusPoint Torus2d::point_of(graph::Vertex v) const noexcept {
+  return TorusPoint{static_cast<std::uint32_t>(v % side_),
+                    static_cast<std::uint32_t>(v / side_)};
+}
+
+std::size_t Torus2d::distance(graph::Vertex a, graph::Vertex b) const noexcept {
+  const TorusPoint pa = point_of(a);
+  const TorusPoint pb = point_of(b);
+  const std::size_t dx = pa.x > pb.x ? pa.x - pb.x : pb.x - pa.x;
+  const std::size_t dy = pa.y > pb.y ? pa.y - pb.y : pb.y - pa.y;
+  return std::min(dx, side_ - dx) + std::min(dy, side_ - dy);
+}
+
+std::array<graph::Vertex, 4> Torus2d::neighbors(graph::Vertex v) const noexcept {
+  const TorusPoint p = point_of(v);
+  const auto s = static_cast<std::uint32_t>(side_);
+  return {
+      vertex_of({static_cast<std::uint32_t>((p.x + 1) % s), p.y}),
+      vertex_of({static_cast<std::uint32_t>((p.x + s - 1) % s), p.y}),
+      vertex_of({p.x, static_cast<std::uint32_t>((p.y + 1) % s)}),
+      vertex_of({p.x, static_cast<std::uint32_t>((p.y + s - 1) % s)}),
+  };
+}
+
+graph::Digraph make_torus_lattice(std::size_t side) {
+  const Torus2d torus(side);
+  graph::Digraph g(torus.vertex_count());
+  for (graph::Vertex v = 0; v < torus.vertex_count(); ++v)
+    for (const graph::Vertex next : torus.neighbors(v)) g.add_edge_unique(v, next);
+  return g;
+}
+
+graph::Digraph make_kleinberg_torus(std::size_t side, util::Rng& rng,
+                                    const Kleinberg2dOptions& options) {
+  const Torus2d torus(side);
+  graph::Digraph g = make_torus_lattice(side);
+
+  // Bucket all nonzero offsets from a reference origin by torus distance;
+  // translation invariance makes the buckets valid for every origin.
+  const std::size_t max_distance = 2 * (side / 2);
+  std::vector<std::vector<TorusPoint>> offsets_at(max_distance + 1);
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      if (x == 0 && y == 0) continue;
+      const std::size_t d =
+          torus.distance(torus.vertex_of({0, 0}), torus.vertex_of({x, y}));
+      offsets_at[d].push_back({x, y});
+    }
+  }
+  // CDF over distance with weight count(d)·d^(−α).
+  std::vector<double> cdf(max_distance + 1, 0.0);
+  double total = 0.0;
+  for (std::size_t d = 1; d <= max_distance; ++d) {
+    total += static_cast<double>(offsets_at[d].size()) *
+             std::pow(static_cast<double>(d), -options.exponent);
+    cdf[d] = total;
+  }
+  SSSW_CHECK(total > 0.0);
+
+  for (graph::Vertex v = 0; v < torus.vertex_count(); ++v) {
+    const TorusPoint p = torus.point_of(v);
+    for (std::size_t q = 0; q < options.long_links_per_node; ++q) {
+      const double u = rng.uniform() * total;
+      const auto it = std::lower_bound(cdf.begin() + 1, cdf.end(), u);
+      const auto d = static_cast<std::size_t>(it - cdf.begin());
+      const auto& bucket = offsets_at[std::min(d, max_distance)];
+      if (bucket.empty()) continue;
+      const TorusPoint offset = bucket[rng.below(bucket.size())];
+      const auto s = static_cast<std::uint32_t>(side);
+      const graph::Vertex target = torus.vertex_of(
+          {static_cast<std::uint32_t>((p.x + offset.x) % s),
+           static_cast<std::uint32_t>((p.y + offset.y) % s)});
+      if (target != v) g.add_edge_unique(v, target);
+    }
+  }
+  return g;
+}
+
+}  // namespace sssw::topology

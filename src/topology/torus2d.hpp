@@ -1,0 +1,62 @@
+// torus2d.hpp — the 2-D lattice substrate (Z² with wraparound).
+//
+// The paper's §V names multidimensional small-world graphs as the direct
+// extension; the underlying CFL process [4] is defined on Zᵏ from the start
+// and φ(α) is dimension-independent.  This module provides the 2-D torus
+// geometry, the 4-neighbour lattice, and Kleinberg's 2-D construction with a
+// tunable harmonic exponent (his theorem: only exponent = k = 2 is
+// navigable).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::topology {
+
+struct TorusPoint {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+};
+
+/// Geometry of a side×side torus; vertex index = y·side + x.
+class Torus2d {
+ public:
+  explicit Torus2d(std::size_t side);
+
+  std::size_t side() const noexcept { return side_; }
+  std::size_t vertex_count() const noexcept { return side_ * side_; }
+
+  graph::Vertex vertex_of(TorusPoint p) const noexcept;
+  TorusPoint point_of(graph::Vertex v) const noexcept;
+
+  /// L1 (Manhattan) distance with wraparound in both dimensions — the
+  /// lattice distance dist_G of the paper's Fact 4.21.
+  std::size_t distance(graph::Vertex a, graph::Vertex b) const noexcept;
+
+  /// The four lattice neighbours of v.
+  std::array<graph::Vertex, 4> neighbors(graph::Vertex v) const noexcept;
+
+ private:
+  std::size_t side_;
+};
+
+/// The plain 4-regular torus lattice.
+graph::Digraph make_torus_lattice(std::size_t side);
+
+struct Kleinberg2dOptions {
+  std::size_t long_links_per_node = 1;
+  /// Harmonic exponent α in P(v) ∝ dist(u,v)^(−α); α = 2 is navigable.
+  double exponent = 2.0;
+};
+
+/// Torus lattice plus per-node long-range links sampled with
+/// P(target) ∝ dist^(−α) over all other vertices.
+graph::Digraph make_kleinberg_torus(std::size_t side, util::Rng& rng,
+                                    const Kleinberg2dOptions& options = {});
+
+}  // namespace sssw::topology

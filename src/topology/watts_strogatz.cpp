@@ -1,0 +1,33 @@
+#include "topology/watts_strogatz.hpp"
+
+#include "util/check.hpp"
+
+namespace sssw::topology {
+
+graph::Digraph make_watts_strogatz(std::size_t n, util::Rng& rng,
+                                   const WattsStrogatzOptions& options) {
+  SSSW_CHECK_MSG(options.k % 2 == 0, "Watts-Strogatz k must be even");
+  graph::Digraph g(n);
+  if (n < 2) return g;
+  const std::size_t half_k = std::min(options.k / 2, (n - 1) / 2);
+  for (graph::Vertex i = 0; i < n; ++i) {
+    for (std::size_t offset = 1; offset <= half_k; ++offset) {
+      graph::Vertex target = static_cast<graph::Vertex>((i + offset) % n);
+      if (rng.bernoulli(options.beta)) {
+        // Rewire to a uniform non-self target, avoiding duplicate edges.
+        for (int attempts = 0; attempts < 16; ++attempts) {
+          const auto candidate = static_cast<graph::Vertex>(rng.below(n));
+          if (candidate != i && !g.has_edge(i, candidate)) {
+            target = candidate;
+            break;
+          }
+        }
+      }
+      g.add_edge_unique(i, target);
+      g.add_edge_unique(target, i);
+    }
+  }
+  return g;
+}
+
+}  // namespace sssw::topology

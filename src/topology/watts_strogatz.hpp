@@ -1,0 +1,27 @@
+// watts_strogatz.hpp — the Watts–Strogatz rewiring model (Nature 1998).
+//
+// A ring lattice where each node connects to its k nearest neighbours; each
+// lattice edge is rewired to a uniform random target with probability beta.
+// Interpolates between a regular lattice (beta = 0) and a random graph
+// (beta = 1); the small-world regime is the sweet spot where clustering is
+// still lattice-like but path lengths are already random-graph-like.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::topology {
+
+struct WattsStrogatzOptions {
+  std::size_t k = 4;    ///< even; k/2 neighbours on each side
+  double beta = 0.1;    ///< rewiring probability
+};
+
+/// Undirected in spirit: every kept/rewired edge is inserted in both
+/// directions.  Vertex i occupies ring rank i.
+graph::Digraph make_watts_strogatz(std::size_t n, util::Rng& rng,
+                                   const WattsStrogatzOptions& options = {});
+
+}  // namespace sssw::topology

@@ -1,0 +1,38 @@
+// check.hpp — lightweight contract-checking macros.
+//
+// SSSW_CHECK fires in all build types (used for genuine invariants whose cost
+// is negligible next to the simulation work); SSSW_DCHECK compiles out in
+// NDEBUG builds (used inside hot loops).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sssw::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "SSSW_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sssw::util
+
+#define SSSW_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::sssw::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SSSW_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::sssw::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define SSSW_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define SSSW_DCHECK(expr) SSSW_CHECK(expr)
+#endif

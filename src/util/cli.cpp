@@ -1,0 +1,133 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace sssw::util {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Cli::flag(std::string name, std::string help, std::string* value) {
+  flags_.push_back({std::move(name), std::move(help), Kind::kString, value, *value});
+}
+
+void Cli::flag(std::string name, std::string help, std::int64_t* value) {
+  flags_.push_back(
+      {std::move(name), std::move(help), Kind::kInt, value, std::to_string(*value)});
+}
+
+void Cli::flag(std::string name, std::string help, double* value) {
+  flags_.push_back(
+      {std::move(name), std::move(help), Kind::kDouble, value, format_double(*value, 4)});
+}
+
+void Cli::flag(std::string name, std::string help, bool* value) {
+  flags_.push_back(
+      {std::move(name), std::move(help), Kind::kBool, value, *value ? "true" : "false"});
+}
+
+const Cli::Flag* Cli::find(std::string_view name) const {
+  for (const Flag& flag : flags_)
+    if (flag.name == name) return &flag;
+  return nullptr;
+}
+
+bool Cli::assign(const Flag& flag, std::string_view text) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = std::string(text);
+      return true;
+    case Kind::kInt: {
+      auto* out = static_cast<std::int64_t*>(flag.target);
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), *out);
+      return ec == std::errc() && ptr == text.data() + text.size();
+    }
+    case Kind::kDouble: {
+      // from_chars for double is available in GCC 12; keep strtod fallback-free.
+      auto* out = static_cast<double*>(flag.target);
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), *out);
+      return ec == std::errc() && ptr == text.data() + text.size();
+    }
+    case Kind::kBool: {
+      auto* out = static_cast<bool*>(flag.target);
+      if (text == "true" || text == "1" || text == "yes") {
+        *out = true;
+        return true;
+      }
+      if (text == "false" || text == "0" || text == "no") {
+        *out = false;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  positionals_.clear();
+  help_requested_ = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      help_requested_ = true;
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positionals_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* flag = find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%.*s\n%s", static_cast<int>(name.size()),
+                   name.data(), help().c_str());
+      return false;
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s expects a value\n", flag->name.c_str());
+        return false;
+      }
+    }
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "invalid value '%.*s' for flag --%s\n",
+                   static_cast<int>(value.size()), value.data(), flag->name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::help() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    out << "  --" << flag.name << "  " << flag.help << " (default: " << flag.default_repr
+        << ")\n";
+  }
+  out << "  --help  Show this message\n";
+  return out.str();
+}
+
+}  // namespace sssw::util

@@ -1,0 +1,57 @@
+// cli.hpp — minimal flag parser for examples and benchmark drivers.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` flags, plus
+// auto-generated --help text.  No external dependencies, deterministic
+// ordering of help output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sssw::util {
+
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Registers a flag; `value` holds the default and receives the parsed
+  /// value.  Pointers must outlive parse().
+  void flag(std::string name, std::string help, std::string* value);
+  void flag(std::string name, std::string help, std::int64_t* value);
+  void flag(std::string name, std::string help, double* value);
+  void flag(std::string name, std::string help, bool* value);
+
+  /// Parses argv.  Returns false (after printing help or an error) if the
+  /// caller should exit; positional arguments are collected in positionals().
+  bool parse(int argc, char** argv);
+
+  const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+
+  /// True when the last parse() returned false because --help was given
+  /// (callers conventionally exit 0 in that case, 1 on real errors).
+  bool help_requested() const noexcept { return help_requested_; }
+
+  std::string help() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* target;
+    std::string default_repr;
+  };
+
+  const Flag* find(std::string_view name) const;
+  static bool assign(const Flag& flag, std::string_view text);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace sssw::util

@@ -1,0 +1,65 @@
+// thread_pool.hpp — fixed-size worker pool with a parallel_for helper.
+//
+// Monte-Carlo experiment drivers run independent trials (one seed each) in
+// parallel; each trial owns its simulator and RNG, so the only shared state
+// is the result slot it writes.  The pool is deliberately simple: a mutex-
+// guarded deque is far from the bottleneck when each task is a whole
+// simulation run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sssw::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future yields its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs body(i) for i in [0, count) across the pool and blocks until all
+  /// complete.  Exceptions from any invocation are rethrown (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience: runs body(i) for i in [0, count) on a transient pool sized to
+/// the hardware, or serially when count is tiny.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace sssw::util

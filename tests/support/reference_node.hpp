@@ -1,0 +1,278 @@
+// reference_node.hpp — an independent, literal transcription of the paper's
+// Algorithms 2–10 (with the two corrections documented in DESIGN.md §1),
+// used ONLY by the conformance tests.
+//
+// This is deliberately written as a direct decision table from the paper's
+// pseudocode, NOT from src/core/node.cpp, so that the differential test in
+// test_conformance.cpp can catch transcription slips in either copy.  The
+// only nondeterministic action, MOVE-FORGET's coin flip, takes the outcome
+// as an explicit parameter; the forget draw is not modelled (the tests keep
+// ages ≤ 2, where φ = 0, so production cannot forget either).
+#pragma once
+
+#include <vector>
+
+#include "core/messages.hpp"
+#include "sim/id.hpp"
+#include "sim/message.hpp"
+
+namespace sssw::testing {
+
+using sim::Id;
+using sim::is_node_id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+struct RefState {
+  Id id;
+  Id l = kNegInf;
+  Id r = kPosInf;
+  Id lrl;
+  Id ring;
+};
+
+struct RefSend {
+  Id to;
+  sim::MessageType type;
+  Id id1;
+  Id id2 = kPosInf;
+
+  friend bool operator==(const RefSend&, const RefSend&) = default;
+};
+
+struct RefResult {
+  RefState state;
+  std::vector<RefSend> sends;
+
+  void send(Id to, sim::MessageType type, Id id1, Id id2 = kPosInf) {
+    // Sentinel suppression, as in production: a message whose target or
+    // primary payload is ±∞ is a no-op at any receiver.
+    if (!is_node_id(to) || !is_node_id(id1)) return;
+    sends.push_back({to, type, id1, id2});
+  }
+};
+
+// --- Algorithm 2: LINEARIZE(id) -------------------------------------------
+inline void ref_tidy_ring(RefState& p) {
+  // The inert-ring cleanup (DESIGN.md note 5): applied when a neighbour is
+  // adopted and at the end of each regular action — not on forwards.
+  if (p.l != kNegInf && p.r != kPosInf) p.ring = p.id;
+}
+
+inline void ref_linearize(RefResult& out, Id id) {
+  RefState& p = out.state;
+  if (!is_node_id(id)) return;
+  if (id > p.id) {
+    if (id < p.r) {
+      if (p.r < kPosInf) out.send(id, core::kLin, p.r);
+      p.r = id;
+      ref_tidy_ring(p);
+    } else if (id > p.lrl && p.lrl > p.r) {
+      out.send(p.lrl, core::kLin, id);
+    } else {
+      out.send(p.r, core::kLin, id);
+    }
+  } else if (id < p.id) {
+    if (id > p.l) {
+      if (p.l > kNegInf) out.send(id, core::kLin, p.l);
+      p.l = id;
+      ref_tidy_ring(p);
+    } else if (id < p.lrl && p.lrl < p.l) {
+      out.send(p.lrl, core::kLin, id);
+    } else {
+      out.send(p.l, core::kLin, id);
+    }
+  }
+}
+
+// --- Algorithm 3: RESPONDLRL(id) -------------------------------------------
+inline void ref_respond_lrl(RefResult& out, Id origin) {
+  const RefState& p = out.state;
+  if (!is_node_id(origin)) return;
+  if (p.l > kNegInf && p.r < kPosInf) {
+    out.send(origin, core::kReslrl, p.l, p.r);
+  } else if (p.l > kNegInf && p.r == kPosInf) {
+    out.send(origin, core::kReslrl, p.l, p.ring);
+  } else if (p.l == kNegInf && p.r < kPosInf) {
+    // Corrected from the paper's (p.ring, p.l): the right candidate is p.r.
+    out.send(origin, core::kReslrl, p.ring, p.r);
+  }
+}
+
+// --- Algorithm 4: MOVE-FORGET(id1, id2), coin explicit ---------------------
+inline void ref_move_forget(RefResult& out, Id id1, Id id2, bool coin_takes_id1) {
+  RefState& p = out.state;
+  if (is_node_id(id1) && is_node_id(id2)) {
+    p.lrl = coin_takes_id1 ? id1 : id2;
+  } else if (is_node_id(id1)) {
+    p.lrl = id1;
+  } else if (is_node_id(id2)) {
+    p.lrl = id2;
+  }
+  // Forget (probability φ(age)) is not modelled; see the header comment.
+}
+
+// --- Algorithm 5: PROBINGR(id) ---------------------------------------------
+inline void ref_probing_r(RefResult& out, Id target) {
+  const RefState& p = out.state;
+  if (!is_node_id(target)) return;
+  if (target >= p.lrl && p.lrl > p.r) {
+    out.send(p.lrl, core::kProbr, target);
+  } else if (target >= p.r) {
+    out.send(p.r, core::kProbr, target);
+  } else if (p.id < target && target < p.r) {
+    ref_linearize(out, target);
+  }
+}
+
+// --- Algorithm 6: PROBINGL(id) ---------------------------------------------
+inline void ref_probing_l(RefResult& out, Id target) {
+  const RefState& p = out.state;
+  if (!is_node_id(target)) return;
+  if (target <= p.lrl && p.lrl < p.l) {
+    out.send(p.lrl, core::kProbl, target);
+  } else if (target <= p.l) {
+    out.send(p.l, core::kProbl, target);
+  } else if (p.id > target && target > p.l) {
+    ref_linearize(out, target);
+  }
+}
+
+// --- Algorithm 7: RESPONDRING(id) ------------------------------------------
+inline void ref_respond_ring(RefResult& out, Id origin) {
+  const RefState& p = out.state;
+  if (!is_node_id(origin) || origin == p.id) return;
+  if (origin < p.id) {
+    if (p.l < origin) {
+      out.send(origin, core::kLin, p.l);
+    } else if (p.lrl < origin) {
+      out.send(origin, core::kLin, p.lrl);
+    } else if (p.lrl > p.r) {
+      out.send(origin, core::kResring, p.lrl);
+    } else {
+      out.send(origin, core::kResring, p.r);
+    }
+  } else {
+    if (p.r > origin) {
+      // Corrected from the paper's (p.l, lin): a larger node is required.
+      out.send(origin, core::kLin, p.r);
+    } else if (p.lrl > origin) {
+      out.send(origin, core::kLin, p.lrl);
+    } else if (p.lrl < p.l) {
+      out.send(origin, core::kResring, p.lrl);
+    } else {
+      out.send(origin, core::kResring, p.l);
+    }
+  }
+}
+
+// --- Algorithm 8: UPDATERING(id) -------------------------------------------
+inline void ref_update_ring(RefResult& out, Id candidate) {
+  RefState& p = out.state;
+  if (!is_node_id(candidate)) return;
+  if (p.l == kNegInf) {
+    if (candidate > p.ring) p.ring = candidate;
+  } else if (p.r == kPosInf) {
+    if (candidate < p.ring) p.ring = candidate;
+  }
+}
+
+// --- Algorithm 9: SENDID() --------------------------------------------------
+inline void ref_send_id(RefResult& out) {
+  const RefState& p = out.state;
+  if (p.l > kNegInf) {
+    out.send(p.l, core::kLin, p.id);
+  } else {
+    out.send(p.ring != p.id ? p.ring : p.r, core::kRing, p.id);
+  }
+  if (p.r < kPosInf) {
+    out.send(p.r, core::kLin, p.id);
+  } else {
+    out.send(p.ring != p.id ? p.ring : p.l, core::kRing, p.id);
+  }
+  out.send(p.lrl, core::kInclrl, p.id);
+}
+
+// --- Algorithm 10: PROBING() ------------------------------------------------
+inline void ref_probing(RefResult& out) {
+  // Snapshot the state: production evaluates the guards against the state
+  // at entry and may linearize (mutating l/r) while handling the ring part.
+  const RefState p = out.state;
+  if (p.l == kNegInf || p.r == kPosInf) {
+    if (is_node_id(p.ring) && p.ring != p.id) {
+      if (p.ring < p.id) {
+        if (p.ring <= p.l) {
+          out.send(p.l, core::kProbl, p.ring);
+        } else if (p.id > p.ring && p.ring > p.l) {
+          ref_linearize(out, p.ring);
+        }
+      } else {
+        if (p.ring >= p.r) {
+          out.send(p.r, core::kProbr, p.ring);
+        } else if (p.id < p.ring && p.ring < p.r) {
+          ref_linearize(out, p.ring);
+        }
+      }
+    }
+  }
+  const RefState q = out.state;  // ring handling may have changed l/r
+  if (is_node_id(q.lrl) && q.lrl != q.id) {
+    if (q.lrl < q.id) {
+      if (q.lrl <= q.l) {
+        out.send(q.l, core::kProbl, q.lrl);
+      } else if (q.id > q.lrl && q.lrl > q.l) {
+        ref_linearize(out, q.lrl);
+      }
+    } else {
+      if (q.lrl >= q.r) {
+        out.send(q.r, core::kProbr, q.lrl);
+      } else if (q.id < q.lrl && q.lrl < q.r) {
+        ref_linearize(out, q.lrl);
+      }
+    }
+  }
+}
+
+// --- Algorithm 1: the two actions -------------------------------------------
+/// Receive action.  `coin_takes_id1` resolves MOVE-FORGET's flip.
+inline RefResult ref_receive(const RefState& state, const sim::Message& m,
+                             bool coin_takes_id1 = true) {
+  RefResult out{state, {}};
+  switch (m.type) {
+    case core::kLin:
+      ref_linearize(out, m.id1);
+      break;
+    case core::kInclrl:
+      ref_respond_lrl(out, m.id1);
+      break;
+    case core::kReslrl:
+      ref_move_forget(out, m.id1, m.id2, coin_takes_id1);
+      break;
+    case core::kRing:
+      ref_respond_ring(out, m.id1);
+      break;
+    case core::kResring:
+      ref_update_ring(out, m.id1);
+      break;
+    case core::kProbr:
+      ref_probing_r(out, m.id1);
+      break;
+    case core::kProbl:
+      ref_probing_l(out, m.id1);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+/// Regular action (probing enabled, interval 1).
+inline RefResult ref_regular(const RefState& state) {
+  RefResult out{state, {}};
+  ref_send_id(out);
+  ref_probing(out);
+  ref_tidy_ring(out.state);
+  return out;
+}
+
+}  // namespace sssw::testing

@@ -1,0 +1,98 @@
+// Tests for baselines/linearization: the Onus-style protocol sorts any
+// weakly connected chain, and the engine is genuinely protocol-agnostic.
+#include "baselines/linearization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::baselines {
+namespace {
+
+using sim::kNegInf;
+using sim::kPosInf;
+
+/// Builds an engine of LinearizationNodes connected as a chain over a random
+/// permutation of ids.
+sim::Engine random_chain_engine(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto ids = sssw::core::random_ids(n, rng);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::shuffle(order, rng);
+
+  // Each node is the source of at most one chain link, so plain assignment
+  // into the matching slot suffices.
+  std::vector<sim::Id> l(n, kNegInf), r(n, kPosInf);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const sim::Id to = ids[order[k + 1]];
+    if (to < ids[order[k]]) {
+      l[order[k]] = to;
+    } else {
+      r[order[k]] = to;
+    }
+  }
+  sim::Engine engine(sim::EngineConfig{.seed = seed});
+  for (std::size_t i = 0; i < n; ++i)
+    engine.add_process(std::make_unique<LinearizationNode>(ids[i], l[i], r[i]));
+  return engine;
+}
+
+TEST(Linearization, SortsARandomChain) {
+  sim::Engine engine = random_chain_engine(48, 5);
+  EXPECT_FALSE(is_sorted_list(engine));
+  const bool sorted = engine.run_until([&] { return is_sorted_list(engine); }, 20000);
+  EXPECT_TRUE(sorted);
+}
+
+TEST(Linearization, SortedStateIsStable) {
+  sim::Engine engine = random_chain_engine(24, 7);
+  ASSERT_TRUE(engine.run_until([&] { return is_sorted_list(engine); }, 20000));
+  for (int round = 0; round < 50; ++round) {
+    engine.run_round();
+    ASSERT_TRUE(is_sorted_list(engine));
+  }
+}
+
+TEST(Linearization, TwoNodesSortImmediately) {
+  sim::Engine engine(sim::EngineConfig{.seed = 1});
+  engine.add_process(std::make_unique<LinearizationNode>(0.2, kNegInf, 0.8));
+  engine.add_process(std::make_unique<LinearizationNode>(0.8, kNegInf, kPosInf));
+  EXPECT_TRUE(engine.run_until([&] { return is_sorted_list(engine); }, 100));
+}
+
+TEST(Linearization, HandlesStarShape) {
+  // Everyone points at one hub via whichever slot fits.
+  util::Rng rng(9);
+  auto ids = sssw::core::random_ids(20, rng);
+  const sim::Id hub = ids[10];
+  sim::Engine engine(sim::EngineConfig{.seed = 9});
+  for (const sim::Id id : ids) {
+    const sim::Id l = (id > hub) ? hub : kNegInf;
+    const sim::Id r = (id < hub) ? hub : kPosInf;
+    engine.add_process(std::make_unique<LinearizationNode>(id, l, r));
+  }
+  EXPECT_TRUE(engine.run_until([&] { return is_sorted_list(engine); }, 20000));
+}
+
+TEST(Linearization, IsSortedListRejectsForeignProcesses) {
+  // The predicate is specific to LinearizationNode.
+  sssw::core::SmallWorldNetwork net = sssw::core::make_stable_ring({0.1, 0.9});
+  EXPECT_FALSE(is_sorted_list(net.engine()));
+}
+
+TEST(Linearization, UsesOnlyLinMessages) {
+  sim::Engine engine = random_chain_engine(16, 11);
+  engine.run_rounds(50);
+  const auto& counters = engine.counters();
+  for (std::size_t type = 1; type < sim::kMaxMessageTypes; ++type)
+    EXPECT_EQ(counters.sent_by_type[type], 0u) << "type " << type;
+  EXPECT_GT(counters.sent_by_type[LinearizationNode::kLin], 0u);
+}
+
+}  // namespace
+}  // namespace sssw::baselines

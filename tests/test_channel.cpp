@@ -1,0 +1,204 @@
+// Tests for sim/channel: drain snapshot semantics and receipt orders.
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sssw::sim {
+namespace {
+
+Message msg(double id) { return Message{0, id, kPosInf}; }
+
+TEST(Channel, StartsEmpty) {
+  Channel c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Channel, PushAndSize) {
+  Channel c;
+  c.push(msg(0.1));
+  c.push(msg(0.2));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(Channel, DrainEmptiesChannel) {
+  Channel c;
+  util::Rng rng(1);
+  c.push(msg(0.1));
+  std::vector<Message> out;
+  c.drain(out, ReceiptOrder::kFifo, rng);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Channel, DrainFifoPreservesOrder) {
+  Channel c;
+  util::Rng rng(1);
+  for (int i = 0; i < 5; ++i) c.push(msg(0.1 * (i + 1)));
+  std::vector<Message> out;
+  c.drain(out, ReceiptOrder::kFifo, rng);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(out[i].id1, 0.1 * (i + 1));
+}
+
+TEST(Channel, DrainLifoReverses) {
+  Channel c;
+  util::Rng rng(1);
+  for (int i = 0; i < 3; ++i) c.push(msg(i + 1.0));
+  std::vector<Message> out;
+  c.drain(out, ReceiptOrder::kLifo, rng);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].id1, 3.0);
+  EXPECT_DOUBLE_EQ(out[2].id1, 1.0);
+}
+
+TEST(Channel, DrainShuffledIsPermutation) {
+  Channel c;
+  util::Rng rng(42);
+  std::set<double> pushed;
+  for (int i = 0; i < 50; ++i) {
+    c.push(msg(i + 1.0));
+    pushed.insert(i + 1.0);
+  }
+  std::vector<Message> out;
+  c.drain(out, ReceiptOrder::kShuffled, rng);
+  ASSERT_EQ(out.size(), 50u);
+  std::set<double> drained;
+  for (const Message& m : out) drained.insert(m.id1);
+  EXPECT_EQ(drained, pushed);
+}
+
+TEST(Channel, DrainClearsPreviousOutput) {
+  Channel c;
+  util::Rng rng(1);
+  std::vector<Message> out{msg(9.0)};
+  c.drain(out, ReceiptOrder::kFifo, rng);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Channel, PushDuringOwnershipOfDrainedBatch) {
+  // Messages pushed after a drain belong to the next snapshot.
+  Channel c;
+  util::Rng rng(1);
+  c.push(msg(1.0));
+  std::vector<Message> out;
+  c.drain(out, ReceiptOrder::kFifo, rng);
+  c.push(msg(2.0));
+  EXPECT_EQ(c.size(), 1u);
+  c.drain(out, ReceiptOrder::kFifo, rng);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].id1, 2.0);
+}
+
+TEST(Channel, TakeOneFifo) {
+  Channel c;
+  util::Rng rng(1);
+  c.push(msg(1.0));
+  c.push(msg(2.0));
+  c.push(msg(3.0));
+  EXPECT_DOUBLE_EQ(c.take_one(ReceiptOrder::kFifo, rng).id1, 1.0);
+  EXPECT_DOUBLE_EQ(c.take_one(ReceiptOrder::kFifo, rng).id1, 2.0);
+  EXPECT_DOUBLE_EQ(c.take_one(ReceiptOrder::kFifo, rng).id1, 3.0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Channel, TakeOneLifo) {
+  Channel c;
+  util::Rng rng(1);
+  c.push(msg(1.0));
+  c.push(msg(2.0));
+  EXPECT_DOUBLE_EQ(c.take_one(ReceiptOrder::kLifo, rng).id1, 2.0);
+  EXPECT_DOUBLE_EQ(c.take_one(ReceiptOrder::kLifo, rng).id1, 1.0);
+}
+
+TEST(Channel, TakeOneShuffledTakesAllEventually) {
+  Channel c;
+  util::Rng rng(5);
+  std::set<double> pushed;
+  for (int i = 0; i < 20; ++i) {
+    c.push(msg(i + 1.0));
+    pushed.insert(i + 1.0);
+  }
+  std::set<double> taken;
+  while (!c.empty()) taken.insert(c.take_one(ReceiptOrder::kShuffled, rng).id1);
+  EXPECT_EQ(taken, pushed);
+}
+
+TEST(Channel, DrainSampleSplitsByProbability) {
+  Channel c;
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) c.push(msg(i + 1.0));
+  std::vector<Message> out;
+  c.drain_sample(out, 0.5, rng);
+  EXPECT_EQ(out.size() + c.size(), 1000u);
+  EXPECT_GT(out.size(), 400u);
+  EXPECT_LT(out.size(), 600u);
+}
+
+TEST(Channel, DrainSampleExtremes) {
+  Channel c;
+  util::Rng rng(10);
+  for (int i = 0; i < 10; ++i) c.push(msg(i + 1.0));
+  std::vector<Message> out;
+  c.drain_sample(out, 0.0, rng);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(c.size(), 10u);
+  c.drain_sample(out, 1.0, rng);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Channel, DrainSampleDeliversEverythingEventually) {
+  Channel c;
+  util::Rng rng(11);
+  std::set<double> pushed;
+  for (int i = 0; i < 50; ++i) {
+    c.push(msg(i + 1.0));
+    pushed.insert(i + 1.0);
+  }
+  std::set<double> delivered;
+  std::vector<Message> out;
+  for (int round = 0; round < 200 && !c.empty(); ++round) {
+    c.drain_sample(out, 0.5, rng);
+    for (const Message& m : out) delivered.insert(m.id1);
+  }
+  EXPECT_EQ(delivered, pushed);  // fair receipt holds w.p. 1
+}
+
+TEST(Channel, PurgeReferencesRemovesMatching) {
+  Channel c;
+  c.push(Message{0, 0.5, kPosInf});
+  c.push(Message{2, 0.1, 0.5});  // id2 match
+  c.push(Message{0, 0.9, kPosInf});
+  EXPECT_EQ(c.purge_references(0.5), 2u);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.pending()[0].id1, 0.9);
+}
+
+TEST(Channel, PurgeReferencesNoMatch) {
+  Channel c;
+  c.push(msg(0.1));
+  EXPECT_EQ(c.purge_references(0.7), 0u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Channel, ClearDiscards) {
+  Channel c;
+  c.push(msg(1.0));
+  c.clear();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Channel, PendingAccessor) {
+  Channel c;
+  c.push(msg(4.0));
+  ASSERT_EQ(c.pending().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.pending()[0].id1, 4.0);
+}
+
+}  // namespace
+}  // namespace sssw::sim

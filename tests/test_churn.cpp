@@ -1,0 +1,84 @@
+// Tests for §IV.G (join/leave) via the analysis drivers, plus repeated-churn
+// integration.
+#include <gtest/gtest.h>
+
+#include "analysis/convergence.hpp"
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::analysis {
+namespace {
+
+TEST(Join, RecoversAndIsCheap) {
+  ChurnOptions options;
+  options.n = 64;
+  options.trials = 6;
+  options.base_seed = 10;
+  options.burn_in_rounds = 64;
+  const ChurnResult result = measure_join(options);
+  EXPECT_EQ(result.recovered, 1.0);
+  // Theorem 4.24: polylog steps.  ln²(64) ≈ 17; anything near n (64) or
+  // above would mean linear-time integration — the bound we must beat.
+  EXPECT_LT(result.recovery_rounds.mean, 32.0);
+  EXPECT_GT(result.recovery_rounds.mean, 0.0);
+}
+
+TEST(Leave, RecoversWithHighProbability) {
+  ChurnOptions options;
+  options.n = 64;
+  options.trials = 6;
+  options.base_seed = 20;
+  options.burn_in_rounds = 256;  // spread the lrls so one crosses the gap
+  const ChurnResult result = measure_leave(options);
+  EXPECT_GE(result.recovered, 0.99);
+  EXPECT_LT(result.recovery_rounds.mean, 64.0);
+}
+
+TEST(Join, CostGrowsSlowlyWithN) {
+  // Polylog scaling: doubling n four times should far less than double the
+  // join cost each time.  We compare n=32 vs n=256: ln²(256)/ln²(32) ≈ 2.6,
+  // while linear scaling would give 8×.
+  ChurnOptions small;
+  small.n = 32;
+  small.trials = 8;
+  small.base_seed = 30;
+  ChurnOptions large = small;
+  large.n = 256;
+  const double small_cost = measure_join(small).recovery_rounds.mean;
+  const double large_cost = measure_join(large).recovery_rounds.mean;
+  ASSERT_GT(small_cost, 0.0);
+  EXPECT_LT(large_cost / small_cost, 5.0);
+}
+
+TEST(Churn, RepeatedJoinLeaveKeepsNetworkHealthy) {
+  util::Rng rng(42);
+  core::SmallWorldNetwork net = core::make_stable_ring(core::random_ids(32, rng));
+  net.run_rounds(128);
+  for (int wave = 0; wave < 5; ++wave) {
+    // One join...
+    sim::Id fresh;
+    do {
+      fresh = rng.uniform();
+    } while (fresh == 0.0 || net.engine().contains(fresh));
+    const auto ids = net.engine().ids();
+    ASSERT_TRUE(net.join(fresh, ids[rng.below(ids.size())]));
+    ASSERT_TRUE(net.run_until_sorted_ring(20000).has_value()) << "wave " << wave;
+    // ... then one leave.
+    const auto current = net.engine().ids();
+    ASSERT_TRUE(net.leave(current[rng.below(current.size())]));
+    ASSERT_TRUE(net.run_until_sorted_ring(20000).has_value()) << "wave " << wave;
+  }
+  EXPECT_EQ(net.size(), 32u);
+}
+
+TEST(Churn, ZeroTrialsYieldEmptySummaries) {
+  ChurnOptions options;
+  options.n = 16;
+  options.trials = 0;
+  const ChurnResult join = measure_join(options);
+  EXPECT_EQ(join.recovered, 0.0);
+  EXPECT_EQ(join.recovery_rounds.count, 0u);
+}
+
+}  // namespace
+}  // namespace sssw::analysis

@@ -1,0 +1,167 @@
+// Tests for util/cli: flag forms, types, errors, positionals.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sssw::util {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Cli, ParsesEqualsForm) {
+  std::int64_t n = 0;
+  Cli cli("test");
+  cli.flag("n", "count", &n);
+  Args args({"prog", "--n=42"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 42);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  std::int64_t n = 0;
+  Cli cli("test");
+  cli.flag("n", "count", &n);
+  Args args({"prog", "--n", "17"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 17);
+}
+
+TEST(Cli, DefaultSurvivesWhenAbsent) {
+  std::int64_t n = 99;
+  Cli cli("test");
+  cli.flag("n", "count", &n);
+  Args args({"prog"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 99);
+}
+
+TEST(Cli, ParsesDouble) {
+  double x = 0.0;
+  Cli cli("test");
+  cli.flag("eps", "epsilon", &x);
+  Args args({"prog", "--eps=0.25"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(Cli, ParsesString) {
+  std::string s = "default";
+  Cli cli("test");
+  cli.flag("name", "a name", &s);
+  Args args({"prog", "--name", "hello world"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(s, "hello world");
+}
+
+TEST(Cli, BareBoolFlagIsTrue) {
+  bool verbose = false;
+  Cli cli("test");
+  cli.flag("verbose", "chatty", &verbose);
+  Args args({"prog", "--verbose"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Cli, BoolAcceptsExplicitValues) {
+  bool flag = true;
+  Cli cli("test");
+  cli.flag("flag", "a flag", &flag);
+  Args args({"prog", "--flag=false"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("test");
+  Args args({"prog", "--mystery=1"});
+  EXPECT_FALSE(cli.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, RejectsBadInteger) {
+  std::int64_t n = 0;
+  Cli cli("test");
+  cli.flag("n", "count", &n);
+  Args args({"prog", "--n=abc"});
+  EXPECT_FALSE(cli.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  std::int64_t n = 0;
+  Cli cli("test");
+  cli.flag("n", "count", &n);
+  Args args({"prog", "--n"});
+  EXPECT_FALSE(cli.parse(args.argc(), args.argv()));
+}
+
+TEST(Cli, CollectsPositionals) {
+  Cli cli("test");
+  Args args({"prog", "one", "two"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  ASSERT_EQ(cli.positionals().size(), 2u);
+  EXPECT_EQ(cli.positionals()[0], "one");
+  EXPECT_EQ(cli.positionals()[1], "two");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  Args args({"prog", "--help"});
+  EXPECT_FALSE(cli.parse(args.argc(), args.argv()));
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(Cli, HelpFlagResetsBetweenParses) {
+  Cli cli("test");
+  Args help_args({"prog", "-h"});
+  EXPECT_FALSE(cli.parse(help_args.argc(), help_args.argv()));
+  EXPECT_TRUE(cli.help_requested());
+  Args plain({"prog"});
+  EXPECT_TRUE(cli.parse(plain.argc(), plain.argv()));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(Cli, ErrorsDoNotSetHelpFlag) {
+  Cli cli("test");
+  Args args({"prog", "--nope"});
+  EXPECT_FALSE(cli.parse(args.argc(), args.argv()));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(Cli, HelpListsFlagsWithDefaults) {
+  std::int64_t n = 5;
+  Cli cli("my program");
+  cli.flag("n", "node count", &n);
+  const std::string help = cli.help();
+  EXPECT_NE(help.find("my program"), std::string::npos);
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("node count"), std::string::npos);
+  EXPECT_NE(help.find("default: 5"), std::string::npos);
+}
+
+TEST(Cli, NegativeNumbers) {
+  std::int64_t n = 0;
+  double x = 0;
+  Cli cli("test");
+  cli.flag("n", "count", &n);
+  cli.flag("x", "value", &x);
+  Args args({"prog", "--n=-7", "--x=-1.5"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, -7);
+  EXPECT_DOUBLE_EQ(x, -1.5);
+}
+
+}  // namespace
+}  // namespace sssw::util

@@ -1,0 +1,139 @@
+// Tests for graph/digraph.
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sssw::graph {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, AddVerticesReturnsFirstIndex) {
+  Digraph g;
+  EXPECT_EQ(g.add_vertices(3), 0u);
+  EXPECT_EQ(g.add_vertices(2), 3u);
+  EXPECT_EQ(g.vertex_count(), 5u);
+}
+
+TEST(Digraph, AddEdgeIsDirected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, ParallelEdgesKept) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Digraph, AddEdgeUniqueDedupes) {
+  Digraph g(2);
+  EXPECT_TRUE(g.add_edge_unique(0, 1));
+  EXPECT_FALSE(g.add_edge_unique(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, OutNeighbors) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  const auto neighbors = g.out_neighbors(0);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], 1u);
+  EXPECT_EQ(neighbors[1], 3u);
+  EXPECT_TRUE(g.out_neighbors(2).empty());
+}
+
+TEST(Digraph, InDegrees) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto in = g.in_degrees();
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 0u);
+  EXPECT_EQ(in[2], 2u);
+}
+
+TEST(Digraph, EdgesLists) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].from, 0u);
+  EXPECT_EQ(edges[0].to, 1u);
+  EXPECT_EQ(edges[1].from, 2u);
+  EXPECT_EQ(edges[1].to, 0u);
+}
+
+TEST(Digraph, Reversed) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph rev = g.reversed();
+  EXPECT_TRUE(rev.has_edge(1, 0));
+  EXPECT_TRUE(rev.has_edge(2, 1));
+  EXPECT_FALSE(rev.has_edge(0, 1));
+  EXPECT_EQ(rev.edge_count(), 2u);
+}
+
+TEST(Digraph, UndirectedSymmetrizes) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // both directions present: must not duplicate
+  g.add_edge(1, 2);
+  const Digraph sym = g.undirected();
+  EXPECT_TRUE(sym.has_edge(0, 1));
+  EXPECT_TRUE(sym.has_edge(1, 0));
+  EXPECT_TRUE(sym.has_edge(2, 1));
+  EXPECT_EQ(sym.edge_count(), 4u);
+}
+
+TEST(Digraph, WithoutVerticesReindexes) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::vector<bool> removed{false, true, false, false};
+  std::vector<Vertex> old_of_new;
+  const Digraph sub = g.without_vertices(removed, &old_of_new);
+  EXPECT_EQ(sub.vertex_count(), 3u);
+  ASSERT_EQ(old_of_new.size(), 3u);
+  EXPECT_EQ(old_of_new[0], 0u);
+  EXPECT_EQ(old_of_new[1], 2u);
+  EXPECT_EQ(old_of_new[2], 3u);
+  // Only 2→3 survives (as 1→2); edges through vertex 1 vanish.
+  EXPECT_EQ(sub.edge_count(), 1u);
+  EXPECT_TRUE(sub.has_edge(1, 2));
+}
+
+TEST(Digraph, WithoutVerticesRemoveNone) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const Digraph sub = g.without_vertices({false, false});
+  EXPECT_EQ(sub.vertex_count(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(Digraph, WithoutVerticesRemoveAll) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const Digraph sub = g.without_vertices({true, true});
+  EXPECT_EQ(sub.vertex_count(), 0u);
+  EXPECT_EQ(sub.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sssw::graph

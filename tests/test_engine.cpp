@@ -1,0 +1,284 @@
+// Tests for sim/engine: registration, delivery, schedulers, determinism.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace sssw::sim {
+namespace {
+
+/// Minimal instrumented process: records deliveries, counts regular actions,
+/// optionally forwards each message to a fixed peer.
+class Probe : public Process {
+ public:
+  explicit Probe(Id id, Id forward_to = kNegInf) : id_(id), forward_to_(forward_to) {}
+
+  Id id() const noexcept override { return id_; }
+
+  void on_message(Context& ctx, const Message& message) override {
+    received.push_back(message);
+    if (is_node_id(forward_to_)) ctx.send(forward_to_, message);
+  }
+
+  void on_regular(Context&) override { ++regular_actions; }
+
+  std::vector<Message> received;
+  int regular_actions = 0;
+
+ private:
+  Id id_;
+  Id forward_to_;
+};
+
+Engine make_engine(SchedulerKind scheduler = SchedulerKind::kSynchronous,
+                   std::uint64_t seed = 1) {
+  return Engine(EngineConfig{.scheduler = scheduler, .seed = seed});
+}
+
+TEST(Engine, AddAndFind) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.5));
+  EXPECT_EQ(engine.process_count(), 1u);
+  EXPECT_TRUE(engine.contains(0.5));
+  EXPECT_NE(engine.find(0.5), nullptr);
+  EXPECT_EQ(engine.find(0.7), nullptr);
+}
+
+TEST(Engine, IdsAreSorted) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.add_process(std::make_unique<Probe>(0.1));
+  engine.add_process(std::make_unique<Probe>(0.5));
+  const auto ids = engine.ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_DOUBLE_EQ(ids[0], 0.1);
+  EXPECT_DOUBLE_EQ(ids[1], 0.5);
+  EXPECT_DOUBLE_EQ(ids[2], 0.9);
+}
+
+TEST(Engine, RemoveProcess) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.5));
+  EXPECT_TRUE(engine.remove_process(0.5));
+  EXPECT_FALSE(engine.remove_process(0.5));
+  EXPECT_EQ(engine.process_count(), 0u);
+  EXPECT_FALSE(engine.contains(0.5));
+}
+
+TEST(Engine, RegularActionRunsEveryRound) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.5));
+  engine.run_rounds(5);
+  const auto* probe = dynamic_cast<const Probe*>(engine.find(0.5));
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->regular_actions, 5);
+  EXPECT_EQ(engine.round(), 5u);
+}
+
+/// A process whose regular action sends one message to a peer.
+class Sender final : public Probe {
+ public:
+  Sender(Id id, Id to) : Probe(id), to_(to) {}
+  void on_regular(Context& ctx) override { ctx.send(to_, Message{2, id()}); }
+
+ private:
+  Id to_;
+};
+
+TEST(Engine, MessageDeliveredNextRound) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_round();  // round 1: send only
+  const auto* receiver = dynamic_cast<const Probe*>(engine.find(0.9));
+  ASSERT_NE(receiver, nullptr);
+  EXPECT_TRUE(receiver->received.empty());
+  EXPECT_EQ(engine.pending_messages(), 1u);
+  engine.run_round();  // round 2: delivery
+  ASSERT_EQ(receiver->received.size(), 1u);
+  EXPECT_DOUBLE_EQ(receiver->received[0].id1, 0.1);
+  EXPECT_EQ(receiver->received[0].type, 2);
+}
+
+TEST(Engine, SendToUnknownIsDroppedAndCounted) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.777));
+  engine.run_round();
+  EXPECT_EQ(engine.counters().dropped, 1u);
+  EXPECT_EQ(engine.pending_messages(), 0u);
+}
+
+TEST(Engine, SelfSendWorks) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.5, 0.5));
+  engine.run_rounds(2);
+  const auto* probe = dynamic_cast<const Probe*>(engine.find(0.5));
+  ASSERT_EQ(probe->received.size(), 1u);
+}
+
+TEST(Engine, CountersByType) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_rounds(3);
+  EXPECT_EQ(engine.counters().sent_by_type[2], 3u);
+  EXPECT_EQ(engine.counters().total_sent(), 3u);
+  EXPECT_EQ(engine.counters().deliveries, 2u);  // last send still pending
+  engine.reset_counters();
+  EXPECT_EQ(engine.counters().total_sent(), 0u);
+  EXPECT_EQ(engine.counters().rounds, 0u);
+}
+
+TEST(Engine, ForwardingChainTerminatesWithDrop) {
+  // 0.1 → 0.5 → 0.9 → (0.3 does not exist: drop).
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.5));
+  engine.add_process(std::make_unique<Probe>(0.5, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9, 0.3));
+  engine.run_rounds(4);
+  const auto* mid = dynamic_cast<const Probe*>(engine.find(0.5));
+  const auto* end = dynamic_cast<const Probe*>(engine.find(0.9));
+  EXPECT_GE(mid->received.size(), 2u);
+  EXPECT_GE(end->received.size(), 1u);
+  EXPECT_GE(engine.counters().dropped, 1u);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.5));
+  const auto* probe = dynamic_cast<const Probe*>(engine.find(0.5));
+  const bool reached =
+      engine.run_until([&] { return probe->regular_actions >= 3; }, 100);
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(engine.round(), 3u);
+}
+
+TEST(Engine, RunUntilRespectsBudget) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.5));
+  const bool reached = engine.run_until([] { return false; }, 7);
+  EXPECT_FALSE(reached);
+  EXPECT_EQ(engine.round(), 7u);
+}
+
+TEST(Engine, RunUntilTrueImmediately) {
+  Engine engine = make_engine();
+  EXPECT_TRUE(engine.run_until([] { return true; }, 10));
+  EXPECT_EQ(engine.round(), 0u);
+}
+
+TEST(Engine, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Engine engine = make_engine(SchedulerKind::kSynchronous, seed);
+    engine.add_process(std::make_unique<Sender>(0.1, 0.5));
+    engine.add_process(std::make_unique<Probe>(0.5, 0.9));
+    engine.add_process(std::make_unique<Probe>(0.9, 0.1));
+    engine.run_rounds(10);
+    return engine.counters().total_sent();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(Engine, AsyncSchedulerDeliversEverything) {
+  Engine engine = make_engine(SchedulerKind::kRandomAsync, 3);
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_rounds(50);
+  const auto* receiver = dynamic_cast<const Probe*>(engine.find(0.9));
+  EXPECT_GT(receiver->received.size(), 0u);
+}
+
+TEST(Engine, AdversarialLifoStillDelivers) {
+  Engine engine = make_engine(SchedulerKind::kAdversarialLifo, 3);
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_rounds(3);
+  const auto* receiver = dynamic_cast<const Probe*>(engine.find(0.9));
+  EXPECT_EQ(receiver->received.size(), 2u);
+}
+
+TEST(Engine, DelayedSchedulerEventuallyDelivers) {
+  Engine engine = make_engine(SchedulerKind::kDelayedRandom, 5);
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_rounds(40);
+  const auto* receiver = dynamic_cast<const Probe*>(engine.find(0.9));
+  // ~40 sends, each delivered with prob 1/2 per round: nearly all arrive.
+  EXPECT_GT(receiver->received.size(), 25u);
+  EXPECT_LT(receiver->received.size(), 40u);
+}
+
+TEST(Engine, InjectPlacesMessage) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.5));
+  EXPECT_TRUE(engine.inject(0.5, Message{3, 0.25}));
+  EXPECT_FALSE(engine.inject(0.7, Message{3, 0.25}));
+  EXPECT_EQ(engine.pending_messages(), 1u);
+  engine.run_round();
+  const auto* probe = dynamic_cast<const Probe*>(engine.find(0.5));
+  ASSERT_EQ(probe->received.size(), 1u);
+  EXPECT_EQ(probe->received[0].type, 3);
+}
+
+TEST(Engine, RemoveProcessPurgesReferences) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.1));
+  engine.add_process(std::make_unique<Probe>(0.5));
+  engine.inject(0.1, Message{0, 0.5});        // references the victim
+  engine.inject(0.1, Message{0, 0.9});        // unrelated
+  EXPECT_TRUE(engine.remove_process(0.5));
+  EXPECT_EQ(engine.pending_messages(), 1u);   // only the unrelated one left
+}
+
+TEST(Engine, DeliveryHookObservesMessages) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  int observed = 0;
+  engine.set_delivery_hook([&](Id to, const Message& m) {
+    EXPECT_DOUBLE_EQ(to, 0.9);
+    EXPECT_EQ(m.type, 2);
+    ++observed;
+  });
+  engine.run_rounds(3);
+  EXPECT_EQ(observed, 2);
+}
+
+TEST(Engine, ForEachVisitsAscending) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.8));
+  engine.add_process(std::make_unique<Probe>(0.2));
+  std::vector<Id> seen;
+  engine.for_each([&](const Process& p) { seen.push_back(p.id()); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_LT(seen[0], seen[1]);
+}
+
+TEST(Engine, ForEachPendingSeesChannelContents) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_round();
+  int pending = 0;
+  engine.for_each_pending([&](Id to, const Message& m) {
+    EXPECT_DOUBLE_EQ(to, 0.9);
+    EXPECT_DOUBLE_EQ(m.id1, 0.1);
+    ++pending;
+  });
+  EXPECT_EQ(pending, 1);
+}
+
+TEST(Engine, MessagesToRemovedProcessDropped) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_round();  // one message now pending for 0.9
+  engine.remove_process(0.9);
+  engine.run_rounds(2);
+  EXPECT_GE(engine.counters().dropped, 2u);  // subsequent sends dropped
+}
+
+}  // namespace
+}  // namespace sssw::sim

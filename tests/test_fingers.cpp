@@ -1,0 +1,157 @@
+// Tests for baselines/fingers — the Chord-style self-stabilizing finger
+// overlay (Re-Chord-lite).
+#include "baselines/fingers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "core/network.hpp"
+#include "graph/traversal.hpp"
+#include "routing/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::baselines {
+namespace {
+
+using sim::Id;
+using sim::kNegInf;
+using sim::kPosInf;
+
+sim::Engine finger_engine_from_chain(std::size_t n, std::uint64_t seed,
+                                     FingerConfig config = {}) {
+  util::Rng rng(seed);
+  auto ids = sssw::core::random_ids(n, rng);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::shuffle(order, rng);
+  std::vector<Id> l(n, kNegInf), r(n, kPosInf);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const Id to = ids[order[k + 1]];
+    (to < ids[order[k]] ? l : r)[order[k]] = to;
+  }
+  sim::Engine engine(sim::EngineConfig{.seed = seed});
+  for (std::size_t i = 0; i < n; ++i)
+    engine.add_process(std::make_unique<FingerNode>(ids[i], l[i], r[i], config));
+  return engine;
+}
+
+TEST(FingerKeys, HalvingTargetsAndOverflow) {
+  FingerConfig config;
+  config.finger_slots = 4;
+  FingerNode node(0.5, kNegInf, kPosInf, config);
+  EXPECT_EQ(node.finger_key(1), kPosInf);  // 0.5 + 0.5 ≥ 1: no wraparound
+  EXPECT_DOUBLE_EQ(node.finger_key(2), 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(node.finger_key(3), 0.5 + 0.125);
+  EXPECT_DOUBLE_EQ(node.finger_key(4), 0.5 + 0.0625);
+}
+
+TEST(Fingers, StabilizeFromRandomChain) {
+  sim::Engine engine = finger_engine_from_chain(48, 3);
+  const bool sorted =
+      engine.run_until([&] { return fingers_sorted_list(engine); }, 20000);
+  ASSERT_TRUE(sorted);
+  // After the list sorts, one full refresh cycle corrects every finger.
+  const bool correct =
+      engine.run_until([&] { return fingers_correct(engine); }, 20000);
+  EXPECT_TRUE(correct);
+}
+
+TEST(Fingers, LegalStateIsStable) {
+  sim::Engine engine = finger_engine_from_chain(32, 5);
+  ASSERT_TRUE(engine.run_until(
+      [&] { return fingers_sorted_list(engine) && fingers_correct(engine); }, 40000));
+  for (int round = 0; round < 60; ++round) {
+    engine.run_round();
+    ASSERT_TRUE(fingers_sorted_list(engine));
+    ASSERT_TRUE(fingers_correct(engine)) << "round " << round;
+  }
+}
+
+TEST(Fingers, CorruptedFingersRefreshWithinOneCycle) {
+  FingerConfig config;
+  config.finger_slots = 12;
+  sim::Engine engine = finger_engine_from_chain(32, 7, config);
+  ASSERT_TRUE(engine.run_until(
+      [&] { return fingers_sorted_list(engine) && fingers_correct(engine); }, 40000));
+  // Corrupt every finger of every node by injecting bogus found messages.
+  const auto ids = engine.ids();
+  for (const Id id : ids) {
+    auto* node = dynamic_cast<FingerNode*>(engine.find(id));
+    for (std::uint32_t slot = 1; slot <= config.finger_slots; ++slot) {
+      const Id key = node->finger_key(slot);
+      if (sim::is_node_id(key))
+        engine.inject(id, sim::Message{FingerNode::kFound, ids[0], key});
+    }
+  }
+  engine.run_round();  // corruption lands
+  // One refresh cycle (finger_slots rounds) + find travel time repairs all.
+  EXPECT_TRUE(engine.run_until([&] { return fingers_correct(engine); },
+                               4 * config.finger_slots + 200));
+}
+
+TEST(Fingers, ViewRoutesLogarithmically) {
+  sim::Engine engine = finger_engine_from_chain(256, 9);
+  ASSERT_TRUE(engine.run_until(
+      [&] { return fingers_sorted_list(engine) && fingers_correct(engine); }, 40000));
+  const auto graph = finger_view(engine);
+  EXPECT_TRUE(graph::is_weakly_connected(graph));
+  // The no-wrap structure routes rightward like Chord's lookup: evaluate
+  // ordered pairs (source < target) under the linear |a − b| metric.
+  util::Rng rng(10);
+  const std::size_t n = graph.vertex_count();
+  const auto linear = [](graph::Vertex a, graph::Vertex b) {
+    return static_cast<std::size_t>(a > b ? a - b : b - a);
+  };
+  double hops_sum = 0;
+  int ok = 0;
+  constexpr int kPairs = 300;
+  for (int i = 0; i < kPairs; ++i) {
+    auto a = static_cast<graph::Vertex>(rng.below(n));
+    auto b = static_cast<graph::Vertex>(rng.below(n));
+    if (a == b) continue;
+    const auto route = routing::greedy_route_metric(graph, std::min(a, b),
+                                                    std::max(a, b), n, linear);
+    if (route.success) {
+      ++ok;
+      hops_sum += static_cast<double>(route.hops);
+    }
+  }
+  ASSERT_GT(ok, kPairs / 2);
+  EXPECT_LT(hops_sum / ok, 2.0 * std::log2(256.0));
+}
+
+TEST(Fingers, DegreeIsLogarithmic) {
+  sim::Engine engine = finger_engine_from_chain(128, 11);
+  ASSERT_TRUE(engine.run_until(
+      [&] { return fingers_sorted_list(engine) && fingers_correct(engine); }, 40000));
+  const auto graph = finger_view(engine);
+  double total_degree = 0;
+  for (graph::Vertex v = 0; v < graph.vertex_count(); ++v)
+    total_degree += static_cast<double>(graph.out_degree(v));
+  const double mean_degree = total_degree / static_cast<double>(graph.vertex_count());
+  EXPECT_GT(mean_degree, 4.0);   // list + several distinct fingers
+  EXPECT_LT(mean_degree, 14.0);  // but O(log n), far below n
+}
+
+TEST(Fingers, FindAnswersArriveForStaleKeys) {
+  // A find that lands past its key is answered by the receiving node
+  // itself, never dropped silently.
+  FingerConfig config;
+  config.finger_slots = 2;
+  sim::Engine engine(sim::EngineConfig{.seed = 13});
+  engine.add_process(std::make_unique<FingerNode>(0.2, kNegInf, 0.8, config));
+  engine.add_process(std::make_unique<FingerNode>(0.8, 0.2, kPosInf, config));
+  engine.inject(0.8, sim::Message{FingerNode::kFind, 0.5, 0.2});  // key < 0.8
+  engine.run_round();
+  int found = 0;
+  engine.for_each_pending([&](Id to, const sim::Message& m) {
+    if (to == 0.2 && m.type == FingerNode::kFound && m.id1 == 0.8) ++found;
+  });
+  EXPECT_GE(found, 1);
+}
+
+}  // namespace
+}  // namespace sssw::baselines

@@ -1,0 +1,128 @@
+// Tests for core/invariants: Definitions 4.8/4.17 predicates and phases.
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::core {
+namespace {
+
+using sim::kNegInf;
+using sim::kPosInf;
+
+SmallWorldNetwork ring_of(std::initializer_list<sim::Id> ids) {
+  return make_stable_ring(std::vector<sim::Id>(ids));
+}
+
+TEST(Invariants, StableRingSatisfiesBoth) {
+  SmallWorldNetwork net = ring_of({0.1, 0.3, 0.5, 0.7});
+  EXPECT_TRUE(is_sorted_list(net.engine()));
+  EXPECT_TRUE(is_sorted_ring(net.engine()));
+}
+
+TEST(Invariants, EmptyAndSingletonAreTriviallySorted) {
+  SmallWorldNetwork empty;
+  EXPECT_TRUE(is_sorted_list(empty.engine()));
+  EXPECT_TRUE(is_sorted_ring(empty.engine()));
+  SmallWorldNetwork one = ring_of({0.5});
+  EXPECT_TRUE(is_sorted_ring(one.engine()));
+}
+
+TEST(Invariants, WrongRightNeighborBreaksList) {
+  SmallWorldNetwork net = ring_of({0.1, 0.3, 0.5});
+  net.node(0.1)->set_r(0.5);  // skips 0.3
+  EXPECT_FALSE(is_sorted_list(net.engine()));
+}
+
+TEST(Invariants, MissingLeftBreaksList) {
+  SmallWorldNetwork net = ring_of({0.1, 0.3, 0.5});
+  net.node(0.3)->set_l(kNegInf);
+  EXPECT_FALSE(is_sorted_list(net.engine()));
+}
+
+TEST(Invariants, SortedListWithoutRingEdges) {
+  SmallWorldNetwork net;
+  net.add_node(NodeInit(0.1, kNegInf, 0.5));
+  net.add_node(NodeInit(0.5, 0.1, kPosInf));
+  EXPECT_TRUE(is_sorted_list(net.engine()));
+  EXPECT_FALSE(is_sorted_ring(net.engine()));
+  EXPECT_EQ(detect_phase(net.engine()), Phase::kSortedList);
+}
+
+TEST(Invariants, WrongRingTargetBreaksRing) {
+  SmallWorldNetwork net = ring_of({0.1, 0.3, 0.5});
+  net.node(0.1)->set_ring(0.3);  // should be the max, 0.5
+  EXPECT_TRUE(is_sorted_list(net.engine()));
+  EXPECT_FALSE(is_sorted_ring(net.engine()));
+}
+
+TEST(Invariants, LrlsResolve) {
+  SmallWorldNetwork net = ring_of({0.1, 0.3, 0.5});
+  EXPECT_TRUE(lrls_resolve(net.engine()));
+  net.node(0.3)->set_lrl(0.77);  // no such node
+  EXPECT_FALSE(lrls_resolve(net.engine()));
+}
+
+TEST(Phase, DisconnectedDetected) {
+  SmallWorldNetwork net;
+  net.add_node(NodeInit(0.1));
+  net.add_node(NodeInit(0.9));
+  EXPECT_EQ(detect_phase(net.engine()), Phase::kDisconnected);
+}
+
+TEST(Phase, WeaklyConnectedViaLrlOnly) {
+  SmallWorldNetwork net;
+  NodeInit a(0.1);
+  a.lrl = 0.9;  // the only connection is a long-range link: CC yes, LCC no
+  net.add_node(a);
+  net.add_node(NodeInit(0.9));
+  EXPECT_EQ(detect_phase(net.engine()), Phase::kWeaklyConnected);
+}
+
+TEST(Phase, ListConnectedViaStoredNeighbors) {
+  SmallWorldNetwork net;
+  net.add_node(NodeInit(0.1, kNegInf, 0.9));  // stored r: LCC connected
+  net.add_node(NodeInit(0.5));
+  net.add_node(NodeInit(0.9, 0.5, kPosInf));
+  EXPECT_EQ(detect_phase(net.engine()), Phase::kListConnected);
+}
+
+TEST(Phase, RingWithoutForgetsIsSortedRing) {
+  SmallWorldNetwork net = ring_of({0.1, 0.3, 0.5});
+  EXPECT_EQ(detect_phase(net.engine()), Phase::kSortedRing);
+}
+
+TEST(Phase, SmallWorldAfterEveryNodeForgot) {
+  util::Rng rng(3);
+  auto ids = random_ids(24, rng);
+  SmallWorldNetwork net = make_stable_ring(ids);
+  // Run long enough for every node to forget its link at least once.
+  net.run_rounds(600);
+  EXPECT_EQ(detect_phase(net.engine()), Phase::kSmallWorld);
+}
+
+TEST(Phase, NamesAreStable) {
+  EXPECT_STREQ(to_string(Phase::kDisconnected), "disconnected");
+  EXPECT_STREQ(to_string(Phase::kWeaklyConnected), "weakly-connected");
+  EXPECT_STREQ(to_string(Phase::kListConnected), "list-connected");
+  EXPECT_STREQ(to_string(Phase::kSortedList), "sorted-list");
+  EXPECT_STREQ(to_string(Phase::kSortedRing), "sorted-ring");
+  EXPECT_STREQ(to_string(Phase::kSmallWorld), "small-world");
+}
+
+TEST(Invariants, RingIsStableUnderTheProtocol) {
+  // Once Def. 4.17 holds it must hold in every later state (Theorems
+  // 4.9/4.18: the legal state is closed under the protocol's actions).
+  util::Rng rng(5);
+  auto ids = random_ids(32, rng);
+  SmallWorldNetwork net = make_stable_ring(ids);
+  for (int round = 0; round < 200; ++round) {
+    net.run_rounds(1);
+    ASSERT_TRUE(is_sorted_ring(net.engine())) << "broken at round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sssw::core

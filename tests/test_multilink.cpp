@@ -1,0 +1,138 @@
+// Tests for the multi-long-range-link extension (Config::lrl_count > 1).
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "core/messages.hpp"
+#include "core/network.hpp"
+#include "core/views.hpp"
+#include "routing/greedy.hpp"
+#include "topology/initial_states.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::core {
+namespace {
+
+using sim::kNegInf;
+using sim::kPosInf;
+
+SmallWorldNetwork multilink_ring(std::size_t n, std::uint64_t seed,
+                                 std::uint32_t links) {
+  util::Rng rng(seed);
+  NetworkOptions options;
+  options.seed = seed;
+  options.protocol.lrl_count = links;
+  return make_stable_ring(random_ids(n, rng), options);
+}
+
+TEST(MultiLink, NodesCarryKLinks) {
+  SmallWorldNetwork net = multilink_ring(16, 1, 3);
+  for (const sim::Id id : net.engine().ids()) {
+    EXPECT_EQ(net.node(id)->lrls().size(), 3u);
+    for (const auto& link : net.node(id)->lrls()) EXPECT_EQ(link.target, id);
+  }
+}
+
+TEST(MultiLink, AllLinksEventuallyMove) {
+  SmallWorldNetwork net = multilink_ring(24, 2, 3);
+  net.run_rounds(200);
+  std::size_t moved = 0, total = 0;
+  for (const sim::Id id : net.engine().ids()) {
+    for (const auto& link : net.node(id)->lrls()) {
+      ++total;
+      moved += (link.target != id);
+    }
+  }
+  // At any instant some links are home (just forgotten); most have moved.
+  EXPECT_GT(moved, total / 2);
+}
+
+TEST(MultiLink, RingStaysStable) {
+  SmallWorldNetwork net = multilink_ring(24, 3, 4);
+  for (int round = 0; round < 100; ++round) {
+    net.run_rounds(1);
+    ASSERT_TRUE(net.sorted_ring()) << "round " << round;
+  }
+}
+
+TEST(MultiLink, ConvergesFromScratch) {
+  util::Rng rng(4);
+  NetworkOptions options;
+  options.seed = 4;
+  options.protocol.lrl_count = 2;
+  SmallWorldNetwork net(options);
+  net.add_nodes(topology::make_initial_state(topology::InitialShape::kRandomChain,
+                                             random_ids(48, rng), rng));
+  EXPECT_TRUE(net.run_until_sorted_ring(40000).has_value());
+}
+
+TEST(MultiLink, CpViewHasHigherDegree) {
+  SmallWorldNetwork one = multilink_ring(48, 5, 1);
+  SmallWorldNetwork four = multilink_ring(48, 5, 4);
+  one.run_rounds(300);
+  four.run_rounds(300);
+  const IdIndex index_one(one.engine());
+  const IdIndex index_four(four.engine());
+  const auto cp_one = view_cp(one.engine(), index_one);
+  const auto cp_four = view_cp(four.engine(), index_four);
+  EXPECT_GT(cp_four.edge_count(), cp_one.edge_count());
+}
+
+TEST(MultiLink, MoreLinksImproveRouting) {
+  const std::size_t n = 192;
+  SmallWorldNetwork one = multilink_ring(n, 6, 1);
+  SmallWorldNetwork four = multilink_ring(n, 6, 4);
+  one.run_rounds(6 * n);
+  four.run_rounds(6 * n);
+  util::Rng eval(7);
+  const IdIndex i1(one.engine());
+  const IdIndex i4(four.engine());
+  const auto s1 = routing::evaluate_routing(view_cp(one.engine(), i1), eval, 300, n);
+  const auto s4 = routing::evaluate_routing(view_cp(four.engine(), i4), eval, 300, n);
+  EXPECT_EQ(s4.success_rate, 1.0);
+  EXPECT_LT(s4.hops.mean, s1.hops.mean);
+}
+
+TEST(MultiLink, LrlLengthsCountEveryLink) {
+  SmallWorldNetwork net = multilink_ring(16, 8, 3);
+  const auto ids = net.engine().ids();
+  // Place links by hand: 2 moved, 1 home on one node.
+  auto* node = net.node(ids[0]);
+  node->set_lrl(ids[4]);  // link 0
+  // links 1/2 still home → only one length counted.
+  EXPECT_EQ(net.lrl_lengths().size(), 1u);
+}
+
+TEST(MultiLink, StaleResponsesAreDroppedForExtraLinks) {
+  // With k > 1, a reslrl whose responder matches no current link target is
+  // ignored (the link moved on); with k = 1 the paper's semantics apply and
+  // the link moves regardless.
+  NetworkOptions options;
+  options.protocol.lrl_count = 2;
+  SmallWorldNetwork net(options);
+  net.add_node(NodeInit(0.5, 0.3, 0.7));
+  auto* node = net.node(0.5);
+  node->set_lrl(0.3);  // link 0 points at 0.3; link 1 at home
+  // Response claiming to come from 0.9 (no link points there): dropped.
+  net.engine().inject(0.5, sim::Message{kReslrl, 0.2, 0.4, 0.9});
+  net.run_rounds(1);
+  EXPECT_DOUBLE_EQ(node->lrls()[0].target, 0.3);
+  EXPECT_DOUBLE_EQ(node->lrls()[1].target, 0.5);
+  // Response from 0.3 moves link 0.
+  net.engine().inject(0.5, sim::Message{kReslrl, 0.2, kPosInf, 0.3});
+  net.run_rounds(1);
+  EXPECT_DOUBLE_EQ(node->lrls()[0].target, 0.2);
+}
+
+TEST(MultiLink, LeaveResetsEveryMatchingLink) {
+  SmallWorldNetwork net = multilink_ring(8, 9, 3);
+  const auto ids = net.engine().ids();
+  auto* node = net.node(ids[0]);
+  node->set_lrl(ids[3]);
+  net.node(ids[1])->set_lrl(ids[3]);
+  ASSERT_TRUE(net.leave(ids[3]));
+  EXPECT_DOUBLE_EQ(node->lrl(), ids[0]);
+  EXPECT_DOUBLE_EQ(net.node(ids[1])->lrl(), ids[1]);
+}
+
+}  // namespace
+}  // namespace sssw::core

@@ -1,0 +1,80 @@
+// Tests for graph/scc: Tarjan strongly connected components.
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sssw::graph {
+namespace {
+
+TEST(Scc, EachVertexOwnComponentInDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const SccResult result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 4u);
+  std::set<std::uint32_t> labels(result.component.begin(), result.component.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  Digraph g(5);
+  for (Vertex i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  const SccResult result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 1u);
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);  // bridge (one-way)
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  const SccResult result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 2u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[0], result.component[2]);
+  EXPECT_EQ(result.component[3], result.component[4]);
+  EXPECT_EQ(result.component[3], result.component[5]);
+  EXPECT_NE(result.component[0], result.component[3]);
+  // Reverse topological order: edges cross from higher to lower ids.
+  EXPECT_GT(result.component[2], result.component[3]);
+}
+
+TEST(Scc, SelfLoopIsComponent) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  const SccResult result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 2u);
+}
+
+TEST(Scc, EmptyGraph) {
+  const SccResult result = strongly_connected_components(Digraph(0));
+  EXPECT_EQ(result.count, 0u);
+  EXPECT_TRUE(result.component.empty());
+}
+
+TEST(Scc, LongChainNoStackOverflow) {
+  // The iterative implementation must survive deep recursion shapes.
+  constexpr std::size_t n = 200000;
+  Digraph g(n);
+  for (Vertex i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  const SccResult result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, n);
+}
+
+TEST(Scc, LongCycleOneComponent) {
+  constexpr std::size_t n = 100000;
+  Digraph g(n);
+  for (Vertex i = 0; i < n; ++i) g.add_edge(i, static_cast<Vertex>((i + 1) % n));
+  const SccResult result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 1u);
+}
+
+}  // namespace
+}  // namespace sssw::graph

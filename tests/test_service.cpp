@@ -1,0 +1,67 @@
+// Tests for analysis/service: routing quality during stabilization.
+#include "analysis/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssw::analysis {
+namespace {
+
+using topology::InitialShape;
+
+TEST(Service, CurveEndsAtFullServiceOnRing) {
+  ServiceOptions options;
+  options.n = 48;
+  options.seed = 3;
+  options.sample_every = 4;
+  const auto curve = measure_service_during_stabilization(InitialShape::kStar, options);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_TRUE(curve.back().sorted_ring);
+  EXPECT_EQ(curve.back().success, 1.0);
+}
+
+TEST(Service, SuccessImprovesOverall) {
+  ServiceOptions options;
+  options.n = 64;
+  options.seed = 5;
+  options.sample_every = 4;
+  const auto curve =
+      measure_service_during_stabilization(InitialShape::kRandomChain, options);
+  ASSERT_GE(curve.size(), 3u);
+  // The tail (post-ring) beats the very first sample (scrambled chain).
+  EXPECT_GE(curve.back().success, curve.front().success);
+}
+
+TEST(Service, RoundsAreMonotone) {
+  ServiceOptions options;
+  options.n = 32;
+  options.seed = 7;
+  const auto curve =
+      measure_service_during_stabilization(InitialShape::kRandomTree, options);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GT(curve[i].round, curve[i - 1].round);
+}
+
+TEST(Service, TailSamplesRespected) {
+  ServiceOptions options;
+  options.n = 24;
+  options.seed = 9;
+  options.sample_every = 2;
+  options.tail_samples = 5;
+  const auto curve =
+      measure_service_during_stabilization(InitialShape::kSortedRing, options);
+  // Already a ring at round 0: exactly 1 + tail_samples samples.
+  EXPECT_EQ(curve.size(), 6u);
+  for (const ServicePoint& point : curve) EXPECT_TRUE(point.sorted_ring);
+}
+
+TEST(Service, StableStartRoutesPerfectlyThroughout) {
+  ServiceOptions options;
+  options.n = 32;
+  options.seed = 11;
+  const auto curve =
+      measure_service_during_stabilization(InitialShape::kScrambledLrl, options);
+  for (const ServicePoint& point : curve) EXPECT_EQ(point.success, 1.0);
+}
+
+}  // namespace
+}  // namespace sssw::analysis

@@ -1,0 +1,86 @@
+// Tests for sim/trace.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/messages.hpp"
+#include "core/network.hpp"
+
+namespace sssw::sim {
+namespace {
+
+TEST(Trace, RecordsDeliveries) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.5, 0.9});
+  Trace trace;
+  trace.attach(net.engine());
+  net.run_rounds(3);
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), net.engine().counters().deliveries);
+}
+
+TEST(Trace, RingBufferCapsSize) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.5, 0.9});
+  Trace trace(8);
+  trace.attach(net.engine());
+  net.run_rounds(10);
+  EXPECT_EQ(trace.size(), 8u);
+  EXPECT_GT(trace.total_recorded(), 8u);
+  // The retained events are the most recent ones.
+  EXPECT_GE(trace.events().back().round, trace.events().front().round);
+}
+
+TEST(Trace, FiltersByRecipientAndType) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.5, 0.9});
+  Trace trace(1 << 14);
+  trace.attach(net.engine());
+  net.run_rounds(4);
+  const auto to_mid = trace.events_for(0.5);
+  EXPECT_GT(to_mid.size(), 0u);
+  for (const TraceEvent& event : to_mid) EXPECT_DOUBLE_EQ(event.to, 0.5);
+  const auto lins = trace.events_of_type(core::kLin);
+  EXPECT_GT(lins.size(), 0u);
+  for (const TraceEvent& event : lins) EXPECT_EQ(event.message.type, core::kLin);
+}
+
+TEST(Trace, DetachStopsRecording) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.9});
+  Trace trace;
+  trace.attach(net.engine());
+  net.run_rounds(2);
+  const std::uint64_t recorded = trace.total_recorded();
+  trace.detach(net.engine());
+  net.run_rounds(2);
+  EXPECT_EQ(trace.total_recorded(), recorded);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace;
+  trace.record(1, 0.5, Message{core::kLin, 0.1});
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(Trace, ToStringFormats) {
+  Trace trace;
+  trace.record(12, 0.5, Message{core::kLin, 0.25});
+  const std::string plain = trace.to_string();
+  EXPECT_NE(plain.find("round 12"), std::string::npos);
+  EXPECT_NE(plain.find("0.5"), std::string::npos);
+  const std::string named = trace.to_string(
+      [](MessageType type) { return std::string(core::msg_type_name(type)); });
+  EXPECT_NE(named.find("type=lin"), std::string::npos);
+}
+
+TEST(Trace, ManualRecordKeepsOrder) {
+  Trace trace;
+  for (std::uint64_t r = 0; r < 5; ++r)
+    trace.record(r, 0.1, Message{core::kLin, 0.2});
+  ASSERT_EQ(trace.size(), 5u);
+  for (std::uint64_t r = 0; r < 5; ++r) EXPECT_EQ(trace.events()[r].round, r);
+}
+
+}  // namespace
+}  // namespace sssw::sim

@@ -1,0 +1,237 @@
+// sssw_sim — a scriptable command-line simulator for the protocol.
+//
+//   ./sssw_sim [--n 32] [--seed 7] [--shape random-chain] [--script file]
+//
+// Reads commands from --script (or stdin); one command per line, `#` starts
+// a comment.  Useful for reproducing states interactively, teaching, and
+// bug reports (pairs with the snapshot format).
+//
+// Commands:
+//   step [N]            run N rounds (default 1)
+//   until-ring [MAX]    run until Def. 4.17 holds (default budget 100000)
+//   join ID CONTACT     join a new node knowing one contact
+//   leave ID            fail-stop leave (with neighbour detection)
+//   crash ID            crash-stop (no detection; needs failure_timeout)
+//   inject TO TYPE ID1 [ID2]   put a message into TO's channel
+//   status              one-line phase/size/round/message summary
+//   nodes               dump every node's (l, r, lrl, ring, age)
+//   probe FROM TO       walk a probe and report hops/result
+//   route FROM TO       greedy-route over CP and report hops
+//   save FILE / load FILE      snapshot round-trip
+//   dot FILE            write the CP view as Graphviz
+//   quit
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/invariants.hpp"
+#include "core/messages.hpp"
+#include "core/network.hpp"
+#include "core/snapshot.hpp"
+#include "core/views.hpp"
+#include "graph/dot.hpp"
+#include "routing/greedy.hpp"
+#include "routing/probe_path.hpp"
+#include "topology/initial_states.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace sssw;
+
+namespace {
+
+sim::Id parse_id(const std::string& text) {
+  if (text == "-inf") return sim::kNegInf;
+  if (text == "inf") return sim::kPosInf;
+  return std::stod(text);
+}
+
+sim::MessageType parse_type(const std::string& text) {
+  for (sim::MessageType t = 0; t < core::kNumMsgTypes; ++t)
+    if (text == core::msg_type_name(t)) return t;
+  return static_cast<sim::MessageType>(std::stoi(text));
+}
+
+/// Snaps an arbitrary identifier to the nearest live node (so `route 0.1
+/// 0.9` works without knowing exact ids).
+sim::Id nearest_node(const core::SmallWorldNetwork& net, sim::Id id) {
+  const auto ids = net.engine().ids();
+  sim::Id best = ids.front();
+  for (const sim::Id candidate : ids)
+    if (std::abs(candidate - id) < std::abs(best - id)) best = candidate;
+  return best;
+}
+
+void cmd_status(const core::SmallWorldNetwork& net) {
+  std::printf("round %llu | %zu nodes | phase %s | %zu msgs in flight | %llu sent\n",
+              static_cast<unsigned long long>(net.engine().round()), net.size(),
+              core::to_string(net.phase()), net.engine().pending_messages(),
+              static_cast<unsigned long long>(net.engine().counters().total_sent()));
+}
+
+void cmd_nodes(const core::SmallWorldNetwork& net) {
+  util::Table table({"id", "l", "r", "lrl", "ring", "age"});
+  auto fmt = [](sim::Id id) {
+    if (id == sim::kNegInf) return std::string("-inf");
+    if (id == sim::kPosInf) return std::string("inf");
+    return util::format_double(id, 4);
+  };
+  for (const sim::Id id : net.engine().ids()) {
+    const auto* node = net.node(id);
+    table.row().add(fmt(id)).add(fmt(node->l())).add(fmt(node->r()))
+        .add(fmt(node->lrl())).add(fmt(node->ring()))
+        .add(static_cast<std::uint64_t>(node->age()));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 32;
+  std::int64_t seed = 7;
+  std::string shape_name = "random-chain";
+  std::string script;
+  util::Cli cli("sssw interactive simulator");
+  cli.flag("n", "number of nodes", &n);
+  cli.flag("seed", "random seed", &seed);
+  cli.flag("shape", "initial topology shape", &shape_name);
+  cli.flag("script", "read commands from this file instead of stdin", &script);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  topology::InitialShape shape = topology::InitialShape::kRandomChain;
+  for (const auto candidate : topology::kAllShapes)
+    if (shape_name == topology::to_string(candidate)) shape = candidate;
+
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  core::NetworkOptions options;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.protocol.failure_timeout = 16;  // crash-stop works out of the box
+  core::SmallWorldNetwork net(options);
+  net.add_nodes(topology::make_initial_state(
+      shape, core::random_ids(static_cast<std::size_t>(n), rng), rng));
+  cmd_status(net);
+
+  std::ifstream file;
+  if (!script.empty()) {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "cannot open script '%s'\n", script.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = script.empty() ? std::cin : file;
+  const bool interactive = script.empty();
+
+  std::string line;
+  if (interactive) std::printf("> ");
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string cmd;
+    if (!(words >> cmd)) {
+      if (interactive) std::printf("> ");
+      continue;
+    }
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "step") {
+        std::size_t rounds = 1;
+        words >> rounds;
+        net.run_rounds(rounds);
+        cmd_status(net);
+      } else if (cmd == "until-ring") {
+        std::size_t budget = 100000;
+        words >> budget;
+        const auto rounds = net.run_until_sorted_ring(budget);
+        if (rounds.has_value()) {
+          std::printf("ring after %llu rounds\n",
+                      static_cast<unsigned long long>(*rounds));
+        } else {
+          std::printf("no ring within %zu rounds (phase %s)\n", budget,
+                      core::to_string(net.phase()));
+        }
+      } else if (cmd == "join") {
+        std::string id, contact;
+        words >> id >> contact;
+        std::printf("%s\n", net.join(parse_id(id), parse_id(contact)) ? "ok" : "refused");
+      } else if (cmd == "leave") {
+        std::string id;
+        words >> id;
+        std::printf("%s\n", net.leave(parse_id(id)) ? "ok" : "no such node");
+      } else if (cmd == "crash") {
+        std::string id;
+        words >> id;
+        std::printf("%s\n", net.crash(parse_id(id)) ? "ok" : "no such node");
+      } else if (cmd == "inject") {
+        std::string to, type, id1, id2;
+        words >> to >> type >> id1;
+        sim::Message message{parse_type(type), parse_id(id1)};
+        if (words >> id2) message.id2 = parse_id(id2);
+        std::printf("%s\n",
+                    net.engine().inject(parse_id(to), message) ? "ok" : "no such node");
+      } else if (cmd == "status") {
+        cmd_status(net);
+      } else if (cmd == "nodes") {
+        cmd_nodes(net);
+      } else if (cmd == "probe" || cmd == "route") {
+        std::string from, to;
+        words >> from >> to;
+        if (net.size() == 0) {
+          std::printf("network is empty\n");
+          if (interactive) std::printf("> ");
+          continue;
+        }
+        const sim::Id from_id = nearest_node(net, parse_id(from));
+        const sim::Id to_id = nearest_node(net, parse_id(to));
+        if (cmd == "probe") {
+          const auto result = routing::probe_walk(net, from_id, to_id, 16 * net.size());
+          std::printf("probe: %s after %zu hops (stopped at %.4f)\n",
+                      result.reached ? "reached" : (result.repaired ? "repaired" : "dropped"),
+                      result.hops, result.stopped_at);
+        } else {
+          const core::IdIndex index = net.make_index();
+          const auto graph = core::view_cp(net.engine(), index);
+          const auto result =
+              routing::greedy_route(graph, index.vertex_of(from_id),
+                                    index.vertex_of(to_id), net.size());
+          std::printf("route: %s after %zu hops\n",
+                      result.success ? "delivered" : "stuck", result.hops);
+        }
+      } else if (cmd == "save" || cmd == "load" || cmd == "dot") {
+        std::string path;
+        words >> path;
+        if (cmd == "save") {
+          std::ofstream out(path);
+          out << core::to_text(core::take_snapshot(net));
+          std::printf("saved %zu nodes to %s\n", net.size(), path.c_str());
+        } else if (cmd == "load") {
+          std::ifstream snap_in(path);
+          std::stringstream buffer;
+          buffer << snap_in.rdbuf();
+          net = core::restore_snapshot(core::from_text(buffer.str()), options);
+          cmd_status(net);
+        } else {
+          const core::IdIndex index = net.make_index();
+          graph::DotOptions dot_options;
+          dot_options.circo = true;
+          std::ofstream out(path);
+          out << graph::to_dot(core::view_cp(net.engine(), index), dot_options);
+          std::printf("wrote %s\n", path.c_str());
+        }
+      } else {
+        std::printf("unknown command '%s'\n", cmd.c_str());
+      }
+    } catch (const std::exception& error) {
+      std::printf("error: %s\n", error.what());
+    }
+    if (interactive) std::printf("> ");
+  }
+  return 0;
+}
