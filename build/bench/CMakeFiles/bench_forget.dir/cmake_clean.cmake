@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forget.dir/bench_forget.cpp.o"
+  "CMakeFiles/bench_forget.dir/bench_forget.cpp.o.d"
+  "bench_forget"
+  "bench_forget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

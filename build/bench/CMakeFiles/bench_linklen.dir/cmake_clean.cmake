@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linklen.dir/bench_linklen.cpp.o"
+  "CMakeFiles/bench_linklen.dir/bench_linklen.cpp.o.d"
+  "bench_linklen"
+  "bench_linklen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linklen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_navigability.dir/bench_navigability.cpp.o"
+  "CMakeFiles/bench_navigability.dir/bench_navigability.cpp.o.d"
+  "bench_navigability"
+  "bench_navigability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_navigability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_overlay.dir/churn_overlay.cpp.o"
+  "CMakeFiles/churn_overlay.dir/churn_overlay.cpp.o.d"
+  "churn_overlay"
+  "churn_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

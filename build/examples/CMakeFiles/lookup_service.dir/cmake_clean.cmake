@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookup_service.dir/lookup_service.cpp.o"
+  "CMakeFiles/lookup_service.dir/lookup_service.cpp.o.d"
+  "lookup_service"
+  "lookup_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookup_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

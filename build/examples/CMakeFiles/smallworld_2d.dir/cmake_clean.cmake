@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallworld_2d.dir/smallworld_2d.cpp.o"
+  "CMakeFiles/smallworld_2d.dir/smallworld_2d.cpp.o.d"
+  "smallworld_2d"
+  "smallworld_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallworld_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/churn_storm.cpp" "src/analysis/CMakeFiles/sssw_analysis.dir/churn_storm.cpp.o" "gcc" "src/analysis/CMakeFiles/sssw_analysis.dir/churn_storm.cpp.o.d"
+  "/root/repo/src/analysis/convergence.cpp" "src/analysis/CMakeFiles/sssw_analysis.dir/convergence.cpp.o" "gcc" "src/analysis/CMakeFiles/sssw_analysis.dir/convergence.cpp.o.d"
+  "/root/repo/src/analysis/linklen.cpp" "src/analysis/CMakeFiles/sssw_analysis.dir/linklen.cpp.o" "gcc" "src/analysis/CMakeFiles/sssw_analysis.dir/linklen.cpp.o.d"
+  "/root/repo/src/analysis/phases.cpp" "src/analysis/CMakeFiles/sssw_analysis.dir/phases.cpp.o" "gcc" "src/analysis/CMakeFiles/sssw_analysis.dir/phases.cpp.o.d"
+  "/root/repo/src/analysis/robustness.cpp" "src/analysis/CMakeFiles/sssw_analysis.dir/robustness.cpp.o" "gcc" "src/analysis/CMakeFiles/sssw_analysis.dir/robustness.cpp.o.d"
+  "/root/repo/src/analysis/service.cpp" "src/analysis/CMakeFiles/sssw_analysis.dir/service.cpp.o" "gcc" "src/analysis/CMakeFiles/sssw_analysis.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sssw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sssw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sssw_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sssw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sssw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sssw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

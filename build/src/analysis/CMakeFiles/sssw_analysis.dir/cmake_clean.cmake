@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_analysis.dir/churn_storm.cpp.o"
+  "CMakeFiles/sssw_analysis.dir/churn_storm.cpp.o.d"
+  "CMakeFiles/sssw_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/sssw_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/sssw_analysis.dir/linklen.cpp.o"
+  "CMakeFiles/sssw_analysis.dir/linklen.cpp.o.d"
+  "CMakeFiles/sssw_analysis.dir/phases.cpp.o"
+  "CMakeFiles/sssw_analysis.dir/phases.cpp.o.d"
+  "CMakeFiles/sssw_analysis.dir/robustness.cpp.o"
+  "CMakeFiles/sssw_analysis.dir/robustness.cpp.o.d"
+  "CMakeFiles/sssw_analysis.dir/service.cpp.o"
+  "CMakeFiles/sssw_analysis.dir/service.cpp.o.d"
+  "libsssw_analysis.a"
+  "libsssw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

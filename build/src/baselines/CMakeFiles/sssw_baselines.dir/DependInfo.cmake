@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fingers.cpp" "src/baselines/CMakeFiles/sssw_baselines.dir/fingers.cpp.o" "gcc" "src/baselines/CMakeFiles/sssw_baselines.dir/fingers.cpp.o.d"
+  "/root/repo/src/baselines/linearization.cpp" "src/baselines/CMakeFiles/sssw_baselines.dir/linearization.cpp.o" "gcc" "src/baselines/CMakeFiles/sssw_baselines.dir/linearization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sssw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sssw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sssw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_baselines.dir/fingers.cpp.o"
+  "CMakeFiles/sssw_baselines.dir/fingers.cpp.o.d"
+  "CMakeFiles/sssw_baselines.dir/linearization.cpp.o"
+  "CMakeFiles/sssw_baselines.dir/linearization.cpp.o.d"
+  "libsssw_baselines.a"
+  "libsssw_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsssw_baselines.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/forget.cpp" "src/core/CMakeFiles/sssw_core.dir/forget.cpp.o" "gcc" "src/core/CMakeFiles/sssw_core.dir/forget.cpp.o.d"
+  "/root/repo/src/core/invariants.cpp" "src/core/CMakeFiles/sssw_core.dir/invariants.cpp.o" "gcc" "src/core/CMakeFiles/sssw_core.dir/invariants.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/sssw_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/sssw_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/sssw_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/sssw_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/sssw_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/sssw_core.dir/snapshot.cpp.o.d"
+  "/root/repo/src/core/views.cpp" "src/core/CMakeFiles/sssw_core.dir/views.cpp.o" "gcc" "src/core/CMakeFiles/sssw_core.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sssw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sssw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sssw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_core.dir/forget.cpp.o"
+  "CMakeFiles/sssw_core.dir/forget.cpp.o.d"
+  "CMakeFiles/sssw_core.dir/invariants.cpp.o"
+  "CMakeFiles/sssw_core.dir/invariants.cpp.o.d"
+  "CMakeFiles/sssw_core.dir/network.cpp.o"
+  "CMakeFiles/sssw_core.dir/network.cpp.o.d"
+  "CMakeFiles/sssw_core.dir/node.cpp.o"
+  "CMakeFiles/sssw_core.dir/node.cpp.o.d"
+  "CMakeFiles/sssw_core.dir/snapshot.cpp.o"
+  "CMakeFiles/sssw_core.dir/snapshot.cpp.o.d"
+  "CMakeFiles/sssw_core.dir/views.cpp.o"
+  "CMakeFiles/sssw_core.dir/views.cpp.o.d"
+  "libsssw_core.a"
+  "libsssw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

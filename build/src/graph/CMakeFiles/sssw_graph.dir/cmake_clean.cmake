@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_graph.dir/digraph.cpp.o"
+  "CMakeFiles/sssw_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/sssw_graph.dir/dot.cpp.o"
+  "CMakeFiles/sssw_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/sssw_graph.dir/metrics.cpp.o"
+  "CMakeFiles/sssw_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/sssw_graph.dir/scc.cpp.o"
+  "CMakeFiles/sssw_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/sssw_graph.dir/traversal.cpp.o"
+  "CMakeFiles/sssw_graph.dir/traversal.cpp.o.d"
+  "libsssw_graph.a"
+  "libsssw_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_routing.dir/greedy.cpp.o"
+  "CMakeFiles/sssw_routing.dir/greedy.cpp.o.d"
+  "CMakeFiles/sssw_routing.dir/probe_path.cpp.o"
+  "CMakeFiles/sssw_routing.dir/probe_path.cpp.o.d"
+  "CMakeFiles/sssw_routing.dir/torus.cpp.o"
+  "CMakeFiles/sssw_routing.dir/torus.cpp.o.d"
+  "libsssw_routing.a"
+  "libsssw_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_sim.dir/channel.cpp.o"
+  "CMakeFiles/sssw_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/sssw_sim.dir/engine.cpp.o"
+  "CMakeFiles/sssw_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/sssw_sim.dir/trace.cpp.o"
+  "CMakeFiles/sssw_sim.dir/trace.cpp.o.d"
+  "libsssw_sim.a"
+  "libsssw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sssw_sim.
+# This may be replaced when dependencies are built.

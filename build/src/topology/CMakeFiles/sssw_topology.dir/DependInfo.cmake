@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cfl.cpp" "src/topology/CMakeFiles/sssw_topology.dir/cfl.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/cfl.cpp.o.d"
+  "/root/repo/src/topology/cfl2d.cpp" "src/topology/CMakeFiles/sssw_topology.dir/cfl2d.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/cfl2d.cpp.o.d"
+  "/root/repo/src/topology/chord.cpp" "src/topology/CMakeFiles/sssw_topology.dir/chord.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/chord.cpp.o.d"
+  "/root/repo/src/topology/initial_states.cpp" "src/topology/CMakeFiles/sssw_topology.dir/initial_states.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/initial_states.cpp.o.d"
+  "/root/repo/src/topology/kleinberg.cpp" "src/topology/CMakeFiles/sssw_topology.dir/kleinberg.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/kleinberg.cpp.o.d"
+  "/root/repo/src/topology/stationary.cpp" "src/topology/CMakeFiles/sssw_topology.dir/stationary.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/stationary.cpp.o.d"
+  "/root/repo/src/topology/torus2d.cpp" "src/topology/CMakeFiles/sssw_topology.dir/torus2d.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/torus2d.cpp.o.d"
+  "/root/repo/src/topology/watts_strogatz.cpp" "src/topology/CMakeFiles/sssw_topology.dir/watts_strogatz.cpp.o" "gcc" "src/topology/CMakeFiles/sssw_topology.dir/watts_strogatz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sssw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sssw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sssw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sssw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

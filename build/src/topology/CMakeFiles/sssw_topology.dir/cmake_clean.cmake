@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_topology.dir/cfl.cpp.o"
+  "CMakeFiles/sssw_topology.dir/cfl.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/cfl2d.cpp.o"
+  "CMakeFiles/sssw_topology.dir/cfl2d.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/chord.cpp.o"
+  "CMakeFiles/sssw_topology.dir/chord.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/initial_states.cpp.o"
+  "CMakeFiles/sssw_topology.dir/initial_states.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/kleinberg.cpp.o"
+  "CMakeFiles/sssw_topology.dir/kleinberg.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/stationary.cpp.o"
+  "CMakeFiles/sssw_topology.dir/stationary.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/torus2d.cpp.o"
+  "CMakeFiles/sssw_topology.dir/torus2d.cpp.o.d"
+  "CMakeFiles/sssw_topology.dir/watts_strogatz.cpp.o"
+  "CMakeFiles/sssw_topology.dir/watts_strogatz.cpp.o.d"
+  "libsssw_topology.a"
+  "libsssw_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

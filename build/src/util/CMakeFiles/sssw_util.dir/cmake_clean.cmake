@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssw_util.dir/cli.cpp.o"
+  "CMakeFiles/sssw_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sssw_util.dir/rng.cpp.o"
+  "CMakeFiles/sssw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sssw_util.dir/stats.cpp.o"
+  "CMakeFiles/sssw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sssw_util.dir/table.cpp.o"
+  "CMakeFiles/sssw_util.dir/table.cpp.o.d"
+  "CMakeFiles/sssw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sssw_util.dir/thread_pool.cpp.o.d"
+  "libsssw_util.a"
+  "libsssw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfl2d.dir/test_cfl2d.cpp.o"
+  "CMakeFiles/test_cfl2d.dir/test_cfl2d.cpp.o.d"
+  "test_cfl2d"
+  "test_cfl2d.pdb"
+  "test_cfl2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfl2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convergence_property.dir/test_convergence_property.cpp.o"
+  "CMakeFiles/test_convergence_property.dir/test_convergence_property.cpp.o.d"
+  "test_convergence_property"
+  "test_convergence_property.pdb"
+  "test_convergence_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convergence_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

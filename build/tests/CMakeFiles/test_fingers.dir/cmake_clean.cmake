@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fingers.dir/test_fingers.cpp.o"
+  "CMakeFiles/test_fingers.dir/test_fingers.cpp.o.d"
+  "test_fingers"
+  "test_fingers.pdb"
+  "test_fingers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fingers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_initial_states.dir/test_initial_states.cpp.o"
+  "CMakeFiles/test_initial_states.dir/test_initial_states.cpp.o.d"
+  "test_initial_states"
+  "test_initial_states.pdb"
+  "test_initial_states[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_initial_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

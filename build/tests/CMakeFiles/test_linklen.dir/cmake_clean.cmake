@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linklen.dir/test_linklen.cpp.o"
+  "CMakeFiles/test_linklen.dir/test_linklen.cpp.o.d"
+  "test_linklen"
+  "test_linklen.pdb"
+  "test_linklen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linklen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_loss.dir/test_message_loss.cpp.o"
+  "CMakeFiles/test_message_loss.dir/test_message_loss.cpp.o.d"
+  "test_message_loss"
+  "test_message_loss.pdb"
+  "test_message_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

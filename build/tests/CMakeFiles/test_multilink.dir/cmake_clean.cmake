@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilink.dir/test_multilink.cpp.o"
+  "CMakeFiles/test_multilink.dir/test_multilink.cpp.o.d"
+  "test_multilink"
+  "test_multilink.pdb"
+  "test_multilink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

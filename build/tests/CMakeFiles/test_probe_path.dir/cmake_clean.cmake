@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe_path.dir/test_probe_path.cpp.o"
+  "CMakeFiles/test_probe_path.dir/test_probe_path.cpp.o.d"
+  "test_probe_path"
+  "test_probe_path.pdb"
+  "test_probe_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

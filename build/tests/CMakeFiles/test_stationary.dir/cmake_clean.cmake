@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stationary.dir/test_stationary.cpp.o"
+  "CMakeFiles/test_stationary.dir/test_stationary.cpp.o.d"
+  "test_stationary"
+  "test_stationary.pdb"
+  "test_stationary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

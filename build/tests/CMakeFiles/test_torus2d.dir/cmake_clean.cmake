@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torus2d.dir/test_torus2d.cpp.o"
+  "CMakeFiles/test_torus2d.dir/test_torus2d.cpp.o.d"
+  "test_torus2d"
+  "test_torus2d.pdb"
+  "test_torus2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torus2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_shell.dir/sssw_sim.cpp.o"
+  "CMakeFiles/sim_shell.dir/sssw_sim.cpp.o.d"
+  "sim_shell"
+  "sim_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
