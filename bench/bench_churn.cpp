@@ -81,13 +81,17 @@ void BM_Churn_CrashHeal(benchmark::State& state) {
   double rounds_sum = 0, healed = 0;
   constexpr int kTrials = 4;
   constexpr std::uint32_t kTimeout = 8;
+  obs::Registry merged;  // per-trial registries fold in, in trial order
   for (auto _ : state) {
     rounds_sum = healed = 0;
+    merged.reset();
     for (int trial = 0; trial < kTrials; ++trial) {
       const std::uint64_t seed = bench::kBaseSeed + n + trial;
       core::Config config;
       config.failure_timeout = kTimeout;
       core::SmallWorldNetwork network = bench::stabilized(n, seed, 4 * n, config);
+      obs::Registry registry;
+      network.attach_metrics(registry);  // healing phase only (post-burn-in)
       util::Rng rng(seed ^ 0x63726173ull);
       const auto ids = network.engine().ids();
       network.crash(ids[rng.below(ids.size())]);
@@ -96,12 +100,14 @@ void BM_Churn_CrashHeal(benchmark::State& state) {
         healed += 1.0;
         rounds_sum += static_cast<double>(*rounds);
       }
+      merged.merge(registry);
     }
   }
   state.counters["rounds_mean"] = healed > 0 ? rounds_sum / healed : -1.0;
   state.counters["healed"] = healed / kTrials;
   state.counters["timeout"] = kTimeout;
   state.counters["n"] = static_cast<double>(n);
+  bench::report_registry(state, merged);
 }
 BENCHMARK(BM_Churn_CrashHeal)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->Iterations(1);

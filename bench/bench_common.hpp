@@ -9,8 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
 #include "core/network.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace sssw::bench {
@@ -31,6 +33,22 @@ inline core::SmallWorldNetwork stabilized(std::size_t n, std::uint64_t seed,
   core::SmallWorldNetwork network = core::make_stable_ring(std::move(ids), options);
   network.run_rounds(burn_in);
   return network;
+}
+
+/// Publishes every metric of `registry` as a google-benchmark counter, so
+/// the registry's observables show up in the standard console/JSON reports
+/// under their registry names.  Counters and gauges pass through verbatim;
+/// a histogram `h` becomes `h_count`, `h_mean`, and `h_p90`.
+inline void report_registry(benchmark::State& state, const obs::Registry& registry) {
+  for (const auto& [name, counter] : registry.counters())
+    state.counters[name] = static_cast<double>(counter.value());
+  for (const auto& [name, gauge] : registry.gauges())
+    state.counters[name] = gauge.value();
+  for (const auto& [name, histogram] : registry.histograms()) {
+    state.counters[name + "_count"] = static_cast<double>(histogram.count());
+    state.counters[name + "_mean"] = histogram.mean();
+    state.counters[name + "_p90"] = histogram.quantile(0.9);
+  }
 }
 
 }  // namespace sssw::bench

@@ -23,10 +23,13 @@ void BM_Overhead_StableState(benchmark::State& state) {
   config.probe_interval = static_cast<std::uint32_t>(state.range(0));
   core::SmallWorldNetwork network =
       bench::stabilized(n, bench::kBaseSeed, 4 * n, config);
+  obs::Registry registry;
+  network.attach_metrics(registry);
 
   constexpr std::size_t kMeasureRounds = 256;
   for (auto _ : state) {
     network.engine().reset_counters();
+    registry.reset();
     network.run_rounds(kMeasureRounds);
   }
   const auto& counters = network.engine().counters();
@@ -38,6 +41,7 @@ void BM_Overhead_StableState(benchmark::State& state) {
         total > 0 ? static_cast<double>(counters.sent_by_type[type]) / total : 0.0;
   }
   state.counters["probe_interval"] = static_cast<double>(state.range(0));
+  bench::report_registry(state, registry);
 }
 BENCHMARK(BM_Overhead_StableState)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -38,9 +38,14 @@ void BM_Routing_Sssw(benchmark::State& state) {
   const core::IdIndex index = network.make_index();
   const auto graph = core::view_cp(network.engine(), index);
   util::Rng rng(bench::kBaseSeed + 1);
+  obs::Registry registry;
+  routing::GreedyMetrics metrics(registry);
   routing::RoutingStats stats;
-  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  for (auto _ : state)
+    stats = routing::evaluate_routing(graph, rng, kPairs, n,
+                                      routing::Metric::kRingSymmetric, &metrics);
   report(state, stats, n);
+  bench::report_registry(state, registry);
 }
 
 void BM_Routing_SsswStationary(benchmark::State& state) {
@@ -51,9 +56,14 @@ void BM_Routing_SsswStationary(benchmark::State& state) {
   util::Rng build_rng(bench::kBaseSeed);
   const auto graph = topology::make_stationary_smallworld_ring(n, build_rng);
   util::Rng rng(bench::kBaseSeed + 8);
+  obs::Registry registry;
+  routing::GreedyMetrics metrics(registry);
   routing::RoutingStats stats;
-  for (auto _ : state) stats = routing::evaluate_routing(graph, rng, kPairs, n);
+  for (auto _ : state)
+    stats = routing::evaluate_routing(graph, rng, kPairs, n,
+                                      routing::Metric::kRingSymmetric, &metrics);
   report(state, stats, n);
+  bench::report_registry(state, registry);
 }
 
 void BM_Routing_SsswLookahead(benchmark::State& state) {
@@ -64,10 +74,14 @@ void BM_Routing_SsswLookahead(benchmark::State& state) {
   util::Rng build_rng(bench::kBaseSeed);
   const auto graph = topology::make_stationary_smallworld_ring(n, build_rng);
   util::Rng rng(bench::kBaseSeed + 9);
+  obs::Registry registry;
+  routing::GreedyMetrics metrics(registry);
   routing::RoutingStats stats;
   for (auto _ : state)
-    stats = routing::evaluate_routing_lookahead(graph, rng, kPairs, n);
+    stats = routing::evaluate_routing_lookahead(
+        graph, rng, kPairs, n, routing::Metric::kRingSymmetric, &metrics);
   report(state, stats, n);
+  bench::report_registry(state, registry);
 }
 
 void BM_Routing_Kleinberg(benchmark::State& state) {

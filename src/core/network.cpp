@@ -18,7 +18,23 @@ SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
                                 .message_loss = options.message_loss}) {}
 
 void SmallWorldNetwork::add_node(const NodeInit& init) {
-  engine_.add_process(std::make_unique<SmallWorldNode>(init, options_.protocol));
+  auto node = std::make_unique<SmallWorldNode>(init, options_.protocol);
+  if (node_metrics_ != nullptr) node->set_metrics(node_metrics_.get());
+  engine_.add_process(std::move(node));
+}
+
+void SmallWorldNetwork::attach_metrics(obs::Registry& registry) {
+  engine_.attach_metrics(registry);
+  node_metrics_ = std::make_unique<NodeMetrics>(registry);
+  for (const Id id : engine_.ids())
+    if (SmallWorldNode* n = node(id)) n->set_metrics(node_metrics_.get());
+}
+
+void SmallWorldNetwork::detach_metrics() {
+  engine_.detach_metrics();
+  for (const Id id : engine_.ids())
+    if (SmallWorldNode* n = node(id)) n->set_metrics(nullptr);
+  node_metrics_.reset();
 }
 
 void SmallWorldNetwork::add_nodes(const std::vector<NodeInit>& inits) {

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "core/invariants.hpp"
 #include "core/node.hpp"
+#include "core/node_metrics.hpp"
 #include "core/views.hpp"
 #include "sim/engine.hpp"
 
@@ -67,6 +68,14 @@ class SmallWorldNetwork {
   /// wedge forever, which is why the paper assumes detected leaves.
   bool crash(sim::Id id) { return engine_.remove_process(id, /*purge=*/false); }
 
+  // --- observability ------------------------------------------------------
+  /// Attaches `registry` to the whole network: the engine's engine.* metrics
+  /// plus the shared node.* counters, covering current AND future nodes
+  /// (join() wires new nodes automatically).  The registry must outlive the
+  /// network, or call detach_metrics() first.  See doc/OBSERVABILITY.md.
+  void attach_metrics(obs::Registry& registry);
+  void detach_metrics();
+
   // --- inspection ---------------------------------------------------------
   sim::Engine& engine() noexcept { return engine_; }
   const sim::Engine& engine() const noexcept { return engine_; }
@@ -88,6 +97,7 @@ class SmallWorldNetwork {
  private:
   NetworkOptions options_;
   sim::Engine engine_;
+  std::unique_ptr<NodeMetrics> node_metrics_;  ///< live iff metrics attached
 };
 
 /// Builds a network whose nodes carry the given ids and whose initial state

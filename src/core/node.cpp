@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/node_metrics.hpp"
 #include "util/check.hpp"
 
 namespace sssw::core {
@@ -51,6 +52,15 @@ void SmallWorldNode::send(sim::Context& ctx, Id to, sim::MessageType type, Id id
                           Id id2) {
   if (!is_node_id(to) || !is_node_id(id1)) return;
   ctx.send(to, sim::Message{type, id1, id2});
+}
+
+void SmallWorldNode::reset_lrls_matching(Id id) noexcept {
+  for (LongRangeLink& link : lrls_) {
+    if (link.target == id) {
+      link.target = id_;
+      if (metrics_ != nullptr) metrics_->lrl_resets.add(1);
+    }
+  }
 }
 
 bool SmallWorldNode::has_ring_edge() const noexcept {
@@ -172,11 +182,13 @@ void SmallWorldNode::tick_failure_detector() {
     suspect(l_);
     l_ = kNegInf;
     silence_l_ = 0;
+    if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
   if (r_ != kPosInf && ++silence_r_ > timeout) {
     suspect(r_);
     r_ = kPosInf;
     silence_r_ = 0;
+    if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
   if (config_.move_and_forget_enabled) {
     for (LongRangeLink& link : lrls_) {
@@ -185,6 +197,10 @@ void SmallWorldNode::tick_failure_detector() {
         link.target = id_;  // give up on a silent endpoint: token restarts
         link.age = 0;
         link.silence = 0;
+        if (metrics_ != nullptr) {
+          metrics_->detector_timeouts.add(1);
+          metrics_->lrl_resets.add(1);
+        }
       }
     }
   }
@@ -193,6 +209,7 @@ void SmallWorldNode::tick_failure_detector() {
     // without suspicion so the walk can revisit it.
     ring_ = id_;
     silence_ring_ = 0;
+    if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
 }
 
@@ -223,6 +240,7 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
       r_ = id;
       silence_r_ = 0;
       tidy_ring();
+      if (metrics_ != nullptr) metrics_->linearize_adoptions.add(1);
     } else {
       const Id shortcut =
           config_.lrl_shortcut ? best_right_shortcut(id) : kNegInf;
@@ -233,6 +251,7 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
       } else {
         send(ctx, r_, kLin, id);
       }
+      if (metrics_ != nullptr) metrics_->linearize_forwards.add(1);
     }
   } else if (id < id_) {
     if (id > l_) {
@@ -240,6 +259,7 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
       l_ = id;
       silence_l_ = 0;
       tidy_ring();
+      if (metrics_ != nullptr) metrics_->linearize_adoptions.add(1);
     } else {
       const Id shortcut = config_.lrl_shortcut ? best_left_shortcut(id) : kNegInf;
       if (is_node_id(shortcut) && shortcut != id) {
@@ -247,6 +267,7 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
       } else {
         send(ctx, l_, kLin, id);
       }
+      if (metrics_ != nullptr) metrics_->linearize_forwards.add(1);
     }
   }
   // id == id_ : nothing to do.
@@ -294,10 +315,15 @@ void SmallWorldNode::move_forget(sim::Context& ctx, Id id1, Id id2, Id responder
   link->silence = 0;
   ++link->age;  // one move step completed
   max_age_ = link->age > max_age_ ? link->age : max_age_;
+  if (metrics_ != nullptr) metrics_->lrl_moves.add(1);
   if (ctx.rng().bernoulli(forget_probability(link->age, config_.epsilon))) {
     link->target = id_;  // the token restarts its walk from the origin
     link->age = 0;
     ++forgets_;
+    if (metrics_ != nullptr) {
+      metrics_->lrl_forgets.add(1);
+      metrics_->lrl_resets.add(1);
+    }
   }
 }
 
@@ -314,6 +340,7 @@ void SmallWorldNode::probing_r(sim::Context& ctx, Id target) {
     send(ctx, r_, kProbr, target);
   } else if (id_ < target && target < r_) {
     // Probe cannot advance: the destination lies in our gap — repair.
+    if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
     linearize(ctx, target);
   }
   // else: target ≤ id_, the probe overshot (stale message) — drop.
@@ -331,6 +358,7 @@ void SmallWorldNode::probing_l(sim::Context& ctx, Id target) {
   } else if (target <= l_) {
     send(ctx, l_, kProbl, target);
   } else if (id_ > target && target > l_) {
+    if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
     linearize(ctx, target);
   }
 }
@@ -379,9 +407,15 @@ void SmallWorldNode::respond_ring(sim::Context& ctx, Id origin) {
 void SmallWorldNode::update_ring(Id candidate) {
   if (!is_node_id(candidate) || is_suspected(candidate)) return;
   if (l_ == kNegInf) {
-    if (candidate > ring_) ring_ = candidate;
+    if (candidate > ring_) {
+      ring_ = candidate;
+      if (metrics_ != nullptr) metrics_->ring_updates.add(1);
+    }
   } else if (r_ == kPosInf) {
-    if (candidate < ring_) ring_ = candidate;
+    if (candidate < ring_) {
+      ring_ = candidate;
+      if (metrics_ != nullptr) metrics_->ring_updates.add(1);
+    }
   }
 }
 
@@ -421,12 +455,14 @@ void SmallWorldNode::probing(sim::Context& ctx) {
         if (ring_ <= l_) {
           send(ctx, l_, kProbl, ring_);
         } else if (id_ > ring_ && ring_ > l_) {
+          if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
           linearize(ctx, ring_);
         }
       } else {
         if (ring_ >= r_) {
           send(ctx, r_, kProbr, ring_);
         } else if (id_ < ring_ && ring_ < r_) {
+          if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
           linearize(ctx, ring_);
         }
       }
@@ -440,12 +476,14 @@ void SmallWorldNode::probing(sim::Context& ctx) {
       if (target <= l_) {
         send(ctx, l_, kProbl, target);
       } else if (id_ > target && target > l_) {
+        if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
         linearize(ctx, target);
       }
     } else {
       if (target >= r_) {
         send(ctx, r_, kProbr, target);
       } else if (id_ < target && target < r_) {
+        if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
         linearize(ctx, target);
       }
     }

@@ -24,6 +24,8 @@
 
 namespace sssw::core {
 
+struct NodeMetrics;  // node_metrics.hpp
+
 /// Initial internal-variable assignment for one node; the self-stabilization
 /// claim is that *any* weakly connected assignment converges.
 struct NodeInit {
@@ -86,10 +88,11 @@ class SmallWorldNode final : public sim::Process {
   }
   /// Resets every long-range link whose target is `id` to home (used by the
   /// fail-stop leave cleanup).
-  void reset_lrls_matching(sim::Id id) noexcept {
-    for (LongRangeLink& link : lrls_)
-      if (link.target == id) link.target = id_;
-  }
+  void reset_lrls_matching(sim::Id id) noexcept;
+
+  /// Points this node at a shared protocol-event counter sink (not owned;
+  /// may be null to detach).  See core/node_metrics.hpp.
+  void set_metrics(NodeMetrics* metrics) noexcept { metrics_ = metrics; }
 
  private:
   // Algorithms 2–10.  Each method is a direct transcription; `ctx` carries
@@ -141,6 +144,7 @@ class SmallWorldNode final : public sim::Process {
 
   const Config config_;
   const sim::Id id_;
+  NodeMetrics* metrics_ = nullptr;  ///< optional shared sink; never owned
   sim::Id l_;
   sim::Id r_;
   std::vector<LongRangeLink> lrls_;  // size config.lrl_count, ≥ 1

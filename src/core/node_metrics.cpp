@@ -1,0 +1,15 @@
+#include "core/node_metrics.hpp"
+
+namespace sssw::core {
+
+NodeMetrics::NodeMetrics(obs::Registry& registry)
+    : linearize_adoptions(registry.counter("node.linearize.adoptions")),
+      linearize_forwards(registry.counter("node.linearize.forwards")),
+      lrl_moves(registry.counter("node.lrl.moves")),
+      lrl_forgets(registry.counter("node.lrl.forgets")),
+      lrl_resets(registry.counter("node.lrl.resets")),
+      ring_updates(registry.counter("node.ring.updates")),
+      detector_timeouts(registry.counter("node.detector.timeouts")),
+      probe_repairs(registry.counter("node.probe.repairs")) {}
+
+}  // namespace sssw::core

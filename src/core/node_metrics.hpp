@@ -1,0 +1,28 @@
+// node_metrics.hpp — shared protocol-event counters for SmallWorldNode.
+//
+// One NodeMetrics instance is shared by every node of a network (the
+// registry aggregates over nodes; per-node numbers stay on the node itself,
+// e.g. SmallWorldNode::forget_count()).  A node without a metrics sink pays
+// one null check per event.  See doc/OBSERVABILITY.md for the catalog.
+#pragma once
+
+#include "obs/registry.hpp"
+
+namespace sssw::core {
+
+struct NodeMetrics {
+  /// Binds the node.* counters in `registry`; the registry must outlive
+  /// this object (references stay valid — Registry storage is stable).
+  explicit NodeMetrics(obs::Registry& registry);
+
+  obs::Counter& linearize_adoptions;  ///< lin payload adopted as closer l/r
+  obs::Counter& linearize_forwards;   ///< lin payload delegated onward
+  obs::Counter& lrl_moves;            ///< MOVE-FORGET advanced a token
+  obs::Counter& lrl_forgets;          ///< φ(α) fired: token sent home
+  obs::Counter& lrl_resets;           ///< link reset to home, any cause
+  obs::Counter& ring_updates;         ///< UPDATERING improved a ring edge
+  obs::Counter& detector_timeouts;    ///< failure detector dropped a pointer
+  obs::Counter& probe_repairs;        ///< probe dead-end repaired via linearize
+};
+
+}  // namespace sssw::core

@@ -1,0 +1,233 @@
+#include "obs/snapshotter.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sssw::obs {
+
+namespace {
+
+/// Shortest-round-trip double: %.17g always reparses to the same bits; trim
+/// by retrying shorter precisions that still round-trip.
+std::string format_double(double v) {
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    if (std::strtod(buffer, nullptr) == v) break;
+  }
+  return buffer;
+}
+
+void append_histogram(std::ostringstream& out, const Histogram& histogram) {
+  out << "{\"count\":" << histogram.count()
+      << ",\"sum\":" << format_double(histogram.sum())
+      << ",\"min\":" << format_double(histogram.min())
+      << ",\"max\":" << format_double(histogram.max()) << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (histogram.bucket(i) == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '[' << format_double(Histogram::bucket_upper(i)) << ','
+        << histogram.bucket(i) << ']';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string to_jsonl(const Registry& registry, std::uint64_t round) {
+  std::ostringstream out;
+  out << "{\"round\":" << round << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, metric] : registry.counters()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << metric.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, metric] : registry.gauges()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << format_double(metric.value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, metric] : registry.histograms()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":";
+    append_histogram(out, metric);
+  }
+  out << "}}";
+  return out.str();
+}
+
+// --- strict parser for the schema above -------------------------------------
+
+namespace {
+
+/// Cursor over one snapshot line.  Every accessor returns false on a
+/// mismatch, letting parse_snapshot bail out without exceptions.
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_spaces() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+
+  bool eat(char c) {
+    skip_spaces();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_spaces();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool string(std::string* out) {
+    if (!eat('"')) return false;
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') ++pos;  // names need no escapes
+    if (pos >= text.size()) return false;
+    *out = text.substr(start, pos - start);
+    ++pos;
+    return true;
+  }
+
+  bool number(double* out) {
+    skip_spaces();
+    const char* begin = text.c_str() + pos;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    *out = value;
+    return true;
+  }
+
+  bool unsigned_number(std::uint64_t* out) {
+    double value = 0.0;
+    if (!number(&value) || value < 0.0) return false;
+    *out = static_cast<std::uint64_t>(value);
+    return true;
+  }
+};
+
+bool parse_key(Cursor& cursor, const char* expected) {
+  std::string key;
+  return cursor.string(&key) && key == expected && cursor.eat(':');
+}
+
+bool parse_histogram(Cursor& cursor, ParsedSnapshot::HistogramData* out) {
+  if (!cursor.eat('{')) return false;
+  if (!parse_key(cursor, "count") || !cursor.unsigned_number(&out->count))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "sum") || !cursor.number(&out->sum))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "min") || !cursor.number(&out->min))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "max") || !cursor.number(&out->max))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "buckets") || !cursor.eat('['))
+    return false;
+  while (!cursor.peek(']')) {
+    double edge = 0.0;
+    std::uint64_t count = 0;
+    if (!cursor.eat('[') || !cursor.number(&edge) || !cursor.eat(',') ||
+        !cursor.unsigned_number(&count) || !cursor.eat(']'))
+      return false;
+    out->buckets.emplace_back(edge, count);
+    if (!cursor.peek(']') && !cursor.eat(',')) return false;
+  }
+  return cursor.eat(']') && cursor.eat('}');
+}
+
+/// Parses {"name":<value>, ...} with a per-entry callback.
+template <typename Fn>
+bool parse_object(Cursor& cursor, Fn&& entry) {
+  if (!cursor.eat('{')) return false;
+  while (!cursor.peek('}')) {
+    std::string name;
+    if (!cursor.string(&name) || !cursor.eat(':')) return false;
+    if (!entry(name)) return false;
+    if (!cursor.peek('}') && !cursor.eat(',')) return false;
+  }
+  return cursor.eat('}');
+}
+
+}  // namespace
+
+bool parse_snapshot(const std::string& line, ParsedSnapshot* out) {
+  *out = ParsedSnapshot{};
+  Cursor cursor{line};
+  if (!cursor.eat('{')) return false;
+  if (!parse_key(cursor, "round") || !cursor.unsigned_number(&out->round))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "counters")) return false;
+  if (!parse_object(cursor, [&](const std::string& name) {
+        return cursor.unsigned_number(&out->counters[name]);
+      }))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "gauges")) return false;
+  if (!parse_object(cursor, [&](const std::string& name) {
+        return cursor.number(&out->gauges[name]);
+      }))
+    return false;
+  if (!cursor.eat(',') || !parse_key(cursor, "histograms")) return false;
+  if (!parse_object(cursor, [&](const std::string& name) {
+        return parse_histogram(cursor, &out->histograms[name]);
+      }))
+    return false;
+  if (!cursor.eat('}')) return false;
+  cursor.skip_spaces();
+  return cursor.pos == line.size();
+}
+
+// --- Snapshotter ------------------------------------------------------------
+
+Snapshotter::Snapshotter(const Registry& registry, const std::string& path,
+                         std::uint64_t every)
+    : registry_(registry), file_(path), out_(file_), every_(every), next_(every) {
+  SSSW_CHECK_MSG(every > 0, "snapshot period must be positive");
+}
+
+Snapshotter::Snapshotter(const Registry& registry, std::ostream& out,
+                         std::uint64_t every)
+    : registry_(registry), out_(out), every_(every), next_(every) {
+  SSSW_CHECK_MSG(every > 0, "snapshot period must be positive");
+}
+
+bool Snapshotter::ok() const noexcept {
+  // When writing to a caller-owned stream, file_ was never opened and
+  // reports good() == false only after a failed open — distinguish by
+  // whether out_ aliases file_.
+  return &out_ != &file_ || file_.is_open();
+}
+
+void Snapshotter::poll(std::uint64_t round) {
+  if (round < next_) return;
+  write(round);
+  next_ = round + every_;
+}
+
+void Snapshotter::write(std::uint64_t round) {
+  if (lines_ > 0 && round == last_round_) return;
+  out_ << to_jsonl(registry_, round) << '\n';
+  out_.flush();
+  ++lines_;
+  last_round_ = round;
+}
+
+}  // namespace sssw::obs

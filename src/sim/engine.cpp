@@ -52,7 +52,9 @@ bool Engine::remove_process(Id id, bool purge_references) {
   // that no longer answers, wedging the gap open forever.
   if (purge_references) {
     for (const std::size_t slot_index : order_) {
-      counters_.dropped += slots_[slot_index].channel.purge_references(id);
+      const std::size_t purged = slots_[slot_index].channel.purge_references(id);
+      counters_.dropped += purged;
+      if (metrics_.dropped) metrics_.dropped->add(purged);
     }
   }
   order_.clear();
@@ -85,14 +87,17 @@ void Engine::for_each(const std::function<void(const Process&)>& fn) const {
 void Engine::send(Id to, const Message& message) {
   SSSW_DCHECK(message.type < kMaxMessageTypes);
   ++counters_.sent_by_type[message.type];
-  if (send_hook_) send_hook_(to, message);
+  if (metrics_.sent) metrics_.sent->add();
+  for (const auto& [id, hook] : send_hooks_) hook(to, message);
   if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
     ++counters_.lost;
+    if (metrics_.lost) metrics_.lost->add();
     return;
   }
   const auto it = index_.find(to);
   if (it == index_.end()) {
     ++counters_.dropped;  // target departed or never existed
+    if (metrics_.dropped) metrics_.dropped->add();
     return;
   }
   slots_[it->second].channel.push(message);
@@ -108,9 +113,23 @@ bool Engine::inject(Id to, const Message& message) {
 void Engine::deliver(Slot& slot, const Message& message) {
   ++counters_.deliveries;
   ++counters_.actions;
-  if (delivery_hook_) delivery_hook_(slot.process->id(), message);
+  if (metrics_.delivered) metrics_.delivered->add();
+  if (metrics_.actions) metrics_.actions->add();
+  for (const auto& [id, hook] : delivery_hooks_) hook(slot.process->id(), message);
   Context ctx(*this);
   slot.process->on_message(ctx, message);
+}
+
+/// Common per-round epilogue: bumps the round counter, refreshes the
+/// level gauges, and fires the round hooks (snapshotters poll here).
+void Engine::finish_round() {
+  ++counters_.rounds;
+  if (metrics_.rounds) {
+    metrics_.rounds->add();
+    metrics_.channel_depth->set(static_cast<double>(pending_messages()));
+    metrics_.processes->set(static_cast<double>(process_count()));
+  }
+  for (const auto& [id, hook] : round_hooks_) hook(counters_.rounds);
 }
 
 void Engine::run_synchronous_round(ReceiptOrder order, bool shuffle_nodes) {
@@ -143,10 +162,11 @@ void Engine::run_synchronous_round(ReceiptOrder order, bool shuffle_nodes) {
     Slot& slot = slots_[slot_index];
     if (!slot.process) continue;
     ++counters_.actions;
+    if (metrics_.actions) metrics_.actions->add();
     Context ctx(*this);
     slot.process->on_regular(ctx);
   }
-  ++counters_.rounds;
+  finish_round();
 }
 
 void Engine::run_async_round() {
@@ -162,6 +182,7 @@ void Engine::run_async_round() {
     if (pick < process_count()) {
       Slot& slot = slots_[order_[pick]];
       ++counters_.actions;
+      if (metrics_.actions) metrics_.actions->add();
       Context ctx(*this);
       slot.process->on_regular(ctx);
     } else {
@@ -178,7 +199,7 @@ void Engine::run_async_round() {
       }
     }
   }
-  ++counters_.rounds;
+  finish_round();
 }
 
 void Engine::run_round() {
@@ -235,6 +256,65 @@ std::size_t Engine::pending_messages() const noexcept {
   std::size_t total = 0;
   for (const std::size_t slot_index : order_) total += slots_[slot_index].channel.size();
   return total;
+}
+
+void Engine::attach_metrics(obs::Registry& registry) {
+  metrics_.rounds = &registry.counter("engine.rounds");
+  metrics_.actions = &registry.counter("engine.actions");
+  metrics_.sent = &registry.counter("engine.messages.sent");
+  metrics_.delivered = &registry.counter("engine.messages.delivered");
+  metrics_.dropped = &registry.counter("engine.messages.dropped");
+  metrics_.lost = &registry.counter("engine.messages.lost");
+  metrics_.channel_depth = &registry.gauge("engine.channel.depth");
+  metrics_.processes = &registry.gauge("engine.processes");
+}
+
+namespace {
+
+template <typename Hook>
+Engine::HookId add_hook(std::vector<std::pair<Engine::HookId, Hook>>& hooks,
+                        Engine::HookId& next_id, Hook hook) {
+  SSSW_CHECK_MSG(hook != nullptr, "hooks must be callable; use remove to detach");
+  const Engine::HookId id = next_id++;
+  hooks.emplace_back(id, std::move(hook));
+  return id;
+}
+
+template <typename Hook>
+bool remove_hook(std::vector<std::pair<Engine::HookId, Hook>>& hooks,
+                 Engine::HookId id) noexcept {
+  for (std::size_t i = 0; i < hooks.size(); ++i) {
+    if (hooks[i].first != id) continue;
+    hooks.erase(hooks.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Engine::HookId Engine::add_delivery_hook(DeliveryHook hook) {
+  return add_hook(delivery_hooks_, next_hook_id_, std::move(hook));
+}
+
+bool Engine::remove_delivery_hook(HookId id) noexcept {
+  return remove_hook(delivery_hooks_, id);
+}
+
+Engine::HookId Engine::add_send_hook(DeliveryHook hook) {
+  return add_hook(send_hooks_, next_hook_id_, std::move(hook));
+}
+
+bool Engine::remove_send_hook(HookId id) noexcept {
+  return remove_hook(send_hooks_, id);
+}
+
+Engine::HookId Engine::add_round_hook(RoundHook hook) {
+  return add_hook(round_hooks_, next_hook_id_, std::move(hook));
+}
+
+bool Engine::remove_round_hook(HookId id) noexcept {
+  return remove_hook(round_hooks_, id);
 }
 
 }  // namespace sssw::sim

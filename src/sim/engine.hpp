@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/channel.hpp"
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
@@ -143,13 +144,35 @@ class Engine {
   util::Rng& rng() noexcept { return rng_; }
   std::uint64_t round() const noexcept { return counters_.rounds; }
 
-  /// Optional observer invoked on every delivery (for traces/tests).
-  using DeliveryHook = std::function<void(Id to, const Message&)>;
-  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+  /// Streams this engine's events into `registry` (counter and gauge names
+  /// per doc/OBSERVABILITY.md: engine.rounds, engine.messages.sent, …).
+  /// The registry must outlive the engine or be detached first.  Metrics
+  /// accumulate from the moment of attachment; they are not retroactive.
+  void attach_metrics(obs::Registry& registry);
+  void detach_metrics() noexcept { metrics_ = Metrics{}; }
 
-  /// Optional observer invoked on every send, before loss/routing (for
-  /// traces and the conformance tests' send capture).
-  void set_send_hook(DeliveryHook hook) { send_hook_ = std::move(hook); }
+  // --- observation hooks ------------------------------------------------
+  // Hooks are *chained*: any number of observers may attach concurrently
+  // (a Trace, the metrics layer, a test capture) and each receives every
+  // event.  add returns a token for targeted removal, so detaching one
+  // observer never silently disables another.
+  using DeliveryHook = std::function<void(Id to, const Message&)>;
+  using RoundHook = std::function<void(std::uint64_t round)>;
+  using HookId = std::uint64_t;
+
+  /// Observer invoked on every delivery (for traces/tests).
+  HookId add_delivery_hook(DeliveryHook hook);
+  bool remove_delivery_hook(HookId id) noexcept;
+
+  /// Observer invoked on every send, before loss/routing (for traces and
+  /// the conformance tests' send capture).
+  HookId add_send_hook(DeliveryHook hook);
+  bool remove_send_hook(HookId id) noexcept;
+
+  /// Observer invoked at the end of every round with the new round number
+  /// (periodic snapshotting, convergence watchdogs).
+  HookId add_round_hook(RoundHook hook);
+  bool remove_round_hook(HookId id) noexcept;
 
   /// Testing scheduler: delivers everything currently pending (shuffled)
   /// WITHOUT executing any regular action, and does not advance the round
@@ -164,10 +187,24 @@ class Engine {
     Channel channel;
   };
 
+  /// Cached metric handles (registry-owned); all null when detached, so the
+  /// hot paths pay one branch.
+  struct Metrics {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* actions = nullptr;
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* lost = nullptr;
+    obs::Gauge* channel_depth = nullptr;
+    obs::Gauge* processes = nullptr;
+  };
+
   void send(Id to, const Message& message);
   void deliver(Slot& slot, const Message& message);
   void run_synchronous_round(ReceiptOrder order, bool shuffle_nodes);
   void run_async_round();
+  void finish_round();
 
   EngineConfig config_;
   util::Rng rng_;
@@ -176,8 +213,11 @@ class Engine {
   std::vector<Slot> slots_;        // dense storage; holes after removal
   std::vector<std::size_t> order_; // live slot indices, ascending by id
   EngineCounters counters_;
-  DeliveryHook delivery_hook_;
-  DeliveryHook send_hook_;
+  Metrics metrics_;
+  HookId next_hook_id_ = 1;
+  std::vector<std::pair<HookId, DeliveryHook>> delivery_hooks_;
+  std::vector<std::pair<HookId, DeliveryHook>> send_hooks_;
+  std::vector<std::pair<HookId, RoundHook>> round_hooks_;
   std::vector<Message> scratch_;   // drain buffer reused across rounds
   std::vector<std::vector<Message>> arrivals_;  // per-slot round snapshots
 };

@@ -11,12 +11,20 @@ Trace::Trace(std::size_t capacity) : capacity_(capacity) {
 }
 
 void Trace::attach(Engine& engine) {
-  engine.set_delivery_hook([this, &engine](Id to, const Message& message) {
+  // A second attach would leave the first hook orphaned (recording into
+  // this trace with no way to remove it) — fail loudly instead.
+  SSSW_CHECK_MSG(!attached_, "trace is already attached; detach it first");
+  hook_id_ = engine.add_delivery_hook([this, &engine](Id to, const Message& message) {
     record(engine.round(), to, message);
   });
+  attached_ = true;
 }
 
-void Trace::detach(Engine& engine) { engine.set_delivery_hook(nullptr); }
+void Trace::detach(Engine& engine) {
+  if (!attached_) return;
+  engine.remove_delivery_hook(hook_id_);
+  attached_ = false;
+}
 
 void Trace::record(std::uint64_t round, Id to, const Message& message) {
   ++total_;

@@ -26,11 +26,16 @@ class Trace {
   /// Keeps at most `capacity` most-recent events.
   explicit Trace(std::size_t capacity = 4096);
 
-  /// Starts recording deliveries of `engine` (replaces its delivery hook).
+  /// Starts recording deliveries of `engine`.  The hook chains with any
+  /// other observers (metrics, test captures) — attaching a trace never
+  /// disables them.  Attaching an already-attached trace fails loudly;
+  /// detach first.
   void attach(Engine& engine);
 
-  /// Stops recording (clears the engine's delivery hook).
+  /// Stops recording, removing only this trace's hook.
   void detach(Engine& engine);
+
+  bool attached() const noexcept { return attached_; }
 
   void record(std::uint64_t round, Id to, const Message& message);
 
@@ -55,6 +60,8 @@ class Trace {
  private:
   std::size_t capacity_;
   std::uint64_t total_ = 0;
+  bool attached_ = false;
+  Engine::HookId hook_id_ = 0;
   std::deque<TraceEvent> events_;
 };
 

@@ -82,7 +82,7 @@ struct Harness {
     engine.add_process(std::make_unique<SmallWorldNode>(init, Config{}));
 
     sssw::testing::RefResult result{};
-    engine.set_send_hook([&](Id to, const Message& m) {
+    engine.add_send_hook([&](Id to, const Message& m) {
       if (sim::is_node_id(to) && sim::is_node_id(m.id1))
         result.sends.push_back({to, m.type, m.id1, m.id2});
     });

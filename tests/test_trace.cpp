@@ -7,6 +7,7 @@
 
 #include "core/messages.hpp"
 #include "core/network.hpp"
+#include "obs/registry.hpp"
 
 namespace sssw::sim {
 namespace {
@@ -42,6 +43,41 @@ TEST(Trace, FiltersByRecipientAndType) {
   const auto lins = trace.events_of_type(core::kLin);
   EXPECT_GT(lins.size(), 0u);
   for (const TraceEvent& event : lins) EXPECT_EQ(event.message.type, core::kLin);
+}
+
+// Regression: Trace::attach used to *replace* the engine's delivery hook, so
+// a trace and any other observer (the metrics layer, a test capture) could
+// not coexist — whichever attached last silently won.
+TEST(Trace, CoexistsWithMetricsAndOtherObservers) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.5, 0.9});
+  obs::Registry registry;
+  net.engine().attach_metrics(registry);
+  Trace trace;
+  trace.attach(net.engine());
+  std::uint64_t observed = 0;
+  net.engine().add_delivery_hook([&](Id, const Message&) { ++observed; });
+  net.run_rounds(3);
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(trace.total_recorded(), observed);
+  EXPECT_EQ(registry.find_counter("engine.messages.delivered")->value(), observed);
+}
+
+TEST(Trace, DoubleAttachFailsLoudly) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.9});
+  Trace trace;
+  trace.attach(net.engine());
+  EXPECT_DEATH(trace.attach(net.engine()), "already attached");
+}
+
+TEST(Trace, ReattachAfterDetach) {
+  core::SmallWorldNetwork net = core::make_stable_ring({0.1, 0.9});
+  Trace trace;
+  trace.attach(net.engine());
+  trace.detach(net.engine());
+  EXPECT_FALSE(trace.attached());
+  trace.attach(net.engine());  // legal again after detach
+  net.run_rounds(2);  // first round only sends; deliveries land from round 2
+  EXPECT_GT(trace.total_recorded(), 0u);
 }
 
 TEST(Trace, DetachStopsRecording) {

@@ -20,10 +20,15 @@
 //   save FILE / load FILE      snapshot round-trip
 //   dot FILE            write the CP view as Graphviz
 //   quit
+//
+// With --metrics FILE the run also streams the observability registry to
+// FILE as JSONL, one snapshot every --metrics-every rounds plus a final one
+// at exit (doc/OBSERVABILITY.md documents the schema).
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -33,6 +38,8 @@
 #include "core/snapshot.hpp"
 #include "core/views.hpp"
 #include "graph/dot.hpp"
+#include "obs/registry.hpp"
+#include "obs/snapshotter.hpp"
 #include "routing/greedy.hpp"
 #include "routing/probe_path.hpp"
 #include "topology/initial_states.hpp"
@@ -96,12 +103,20 @@ int main(int argc, char** argv) {
   std::int64_t seed = 7;
   std::string shape_name = "random-chain";
   std::string script;
+  std::string metrics_path;
+  std::int64_t metrics_every = 100;
   util::Cli cli("sssw interactive simulator");
   cli.flag("n", "number of nodes", &n);
   cli.flag("seed", "random seed", &seed);
   cli.flag("shape", "initial topology shape", &shape_name);
   cli.flag("script", "read commands from this file instead of stdin", &script);
+  cli.flag("metrics", "stream the metrics registry to this JSONL file", &metrics_path);
+  cli.flag("metrics-every", "rounds between metric snapshots", &metrics_every);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (metrics_every <= 0) {
+    std::fprintf(stderr, "--metrics-every must be positive\n");
+    return 1;
+  }
 
   topology::InitialShape shape = topology::InitialShape::kRandomChain;
   for (const auto candidate : topology::kAllShapes)
@@ -114,6 +129,26 @@ int main(int argc, char** argv) {
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(
       shape, core::random_ids(static_cast<std::size_t>(n), rng), rng));
+
+  // Optional observability stream: registry + snapshotter outlive the
+  // network (load replaces it), so they are re-wired after every swap.
+  obs::Registry registry;
+  std::optional<obs::Snapshotter> snapshotter;
+  const auto wire_metrics = [&](core::SmallWorldNetwork& target) {
+    if (!snapshotter.has_value()) return;
+    target.attach_metrics(registry);
+    target.engine().add_round_hook(
+        [&snapshotter](std::uint64_t round) { snapshotter->poll(round); });
+  };
+  if (!metrics_path.empty()) {
+    snapshotter.emplace(registry, metrics_path,
+                        static_cast<std::uint64_t>(metrics_every));
+    if (!snapshotter->ok()) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+    wire_metrics(net);
+  }
   cmd_status(net);
 
   std::ifstream file;
@@ -216,6 +251,7 @@ int main(int argc, char** argv) {
           std::stringstream buffer;
           buffer << snap_in.rdbuf();
           net = core::restore_snapshot(core::from_text(buffer.str()), options);
+          wire_metrics(net);  // the old engine (and its hooks) are gone
           cmd_status(net);
         } else {
           const core::IdIndex index = net.make_index();
@@ -233,5 +269,6 @@ int main(int argc, char** argv) {
     }
     if (interactive) std::printf("> ");
   }
+  if (snapshotter.has_value()) snapshotter->write(net.engine().round());
   return 0;
 }
