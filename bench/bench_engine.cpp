@@ -24,19 +24,38 @@ void BM_Engine_StableRound(benchmark::State& state) {
 BENCHMARK(BM_Engine_StableRound)->Arg(100)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 
-void BM_Engine_AsyncRound(benchmark::State& state) {
+// Scaling series: actions/sec vs n for every SchedulerKind, reported through
+// the observability registry (engine.actions et al. appear as benchmark
+// counters, items/sec is actions/sec).  The async scheduler used to pay O(n)
+// per atomic action (full pending recount + linear channel walk); with the
+// Fenwick-indexed hot path it pays O(log n), which is what this series pins.
+// An async "round" is capped at a fixed action budget so one iteration stays
+// comparable across n.
+void BM_Engine_ActionThroughput(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto kind = static_cast<sim::SchedulerKind>(state.range(1));
   util::Rng rng(bench::kBaseSeed);
-  auto ids = core::random_ids(n, rng);
   core::NetworkOptions options;
   options.seed = bench::kBaseSeed;
-  options.scheduler = sim::SchedulerKind::kRandomAsync;
-  core::SmallWorldNetwork network = core::make_stable_ring(std::move(ids), options);
+  options.scheduler = kind;
+  options.async_actions_per_round = 4096;
+  core::SmallWorldNetwork network =
+      core::make_stable_ring(core::random_ids(n, rng), options);
+  obs::Registry registry;
+  network.attach_metrics(registry);
   for (auto _ : state) network.run_rounds(1);
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(network.engine().counters().actions));
+  state.SetLabel(sim::to_string(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      registry.find_counter("engine.actions")->value()));
+  bench::report_registry(state, registry);
 }
-BENCHMARK(BM_Engine_AsyncRound)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Engine_ActionThroughput)
+    ->ArgsProduct({{1000, 10000, 100000},
+                   {static_cast<int>(sim::SchedulerKind::kSynchronous),
+                    static_cast<int>(sim::SchedulerKind::kRandomAsync),
+                    static_cast<int>(sim::SchedulerKind::kAdversarialLifo),
+                    static_cast<int>(sim::SchedulerKind::kDelayedRandom)}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Channel_PushDrain(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));

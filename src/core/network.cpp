@@ -13,9 +13,12 @@ using sim::kPosInf;
 
 SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
     : options_(options),
-      engine_(sim::EngineConfig{.scheduler = options.scheduler,
-                                .seed = options.seed,
-                                .message_loss = options.message_loss}) {}
+      engine_(sim::EngineConfig{
+          .scheduler = options.scheduler,
+          .seed = options.seed,
+          .async_actions_per_round = options.async_actions_per_round,
+          .delivery_probability = options.delivery_probability,
+          .message_loss = options.message_loss}) {}
 
 void SmallWorldNetwork::add_node(const NodeInit& init) {
   auto node = std::make_unique<SmallWorldNode>(init, options_.protocol);

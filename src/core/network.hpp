@@ -25,6 +25,12 @@ struct NetworkOptions {
   std::uint64_t seed = 1;
   /// Per-message loss probability (0 = the paper's lossless model).
   double message_loss = 0.0;
+  /// kDelayedRandom only: per-round delivery probability of each pending
+  /// message, in (0, 1] (see sim::EngineConfig::delivery_probability).
+  double delivery_probability = 0.5;
+  /// kRandomAsync only: atomic actions per "round"; 0 = #processes +
+  /// #pending messages (see sim::EngineConfig::async_actions_per_round).
+  std::size_t async_actions_per_round = 0;
 };
 
 class SmallWorldNetwork {

@@ -6,9 +6,22 @@
 
 namespace sssw::sim {
 
+void Channel::maybe_compact() {
+  if (head_ >= 64 && head_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
 void Channel::drain(std::vector<Message>& out, ReceiptOrder order, util::Rng& rng) {
   out.clear();
-  out.swap(pending_);
+  if (head_ == 0) {
+    out.swap(buf_);
+  } else {
+    out.assign(buf_.begin() + static_cast<std::ptrdiff_t>(head_), buf_.end());
+    buf_.clear();
+    head_ = 0;
+  }
   switch (order) {
     case ReceiptOrder::kShuffled:
       util::shuffle(out, rng);
@@ -24,46 +37,52 @@ void Channel::drain(std::vector<Message>& out, ReceiptOrder order, util::Rng& rn
 void Channel::drain_sample(std::vector<Message>& out, double p, util::Rng& rng) {
   out.clear();
   std::size_t kept = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
+  for (std::size_t i = head_; i < buf_.size(); ++i) {
     if (rng.bernoulli(p)) {
-      out.push_back(pending_[i]);
+      out.push_back(buf_[i]);
     } else {
-      pending_[kept++] = pending_[i];
+      buf_[kept++] = buf_[i];
     }
   }
-  pending_.resize(kept);
+  buf_.resize(kept);
+  head_ = 0;
   util::shuffle(out, rng);
 }
 
 std::size_t Channel::purge_references(Id id) {
-  const std::size_t before = pending_.size();
-  std::erase_if(pending_, [id](const Message& message) {
+  const std::size_t before = size();
+  if (head_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  std::erase_if(buf_, [id](const Message& message) {
     return message.id1 == id || message.id2 == id || message.id3 == id;
   });
-  return before - pending_.size();
+  return before - size();
 }
 
 Message Channel::take_one(ReceiptOrder order, util::Rng& rng) {
-  SSSW_CHECK(!pending_.empty());
-  std::size_t idx = 0;
+  SSSW_CHECK(!empty());
   switch (order) {
+    case ReceiptOrder::kFifo: {
+      const Message message = buf_[head_++];
+      maybe_compact();
+      return message;
+    }
+    case ReceiptOrder::kLifo: {
+      const Message message = buf_.back();
+      buf_.pop_back();
+      maybe_compact();
+      return message;
+    }
     case ReceiptOrder::kShuffled:
-      idx = rng.below(pending_.size());
-      break;
-    case ReceiptOrder::kFifo:
-      idx = 0;
-      break;
-    case ReceiptOrder::kLifo:
-      idx = pending_.size() - 1;
       break;
   }
-  const Message message = pending_[idx];
-  if (order == ReceiptOrder::kFifo) {
-    pending_.erase(pending_.begin());  // keep relative order for later takes
-  } else {
-    pending_[idx] = pending_.back();
-    pending_.pop_back();
-  }
+  const std::size_t idx = head_ + rng.below(size());
+  const Message message = buf_[idx];
+  buf_[idx] = buf_.back();
+  buf_.pop_back();
+  maybe_compact();
   return message;
 }
 

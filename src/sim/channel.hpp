@@ -4,9 +4,15 @@
 // preserve transmission order.  Receipt order is a scheduler policy:
 // shuffled (models fair receipt), FIFO, or LIFO (adversarial but still fair
 // under round-based draining, since every round drains the whole snapshot).
+//
+// Storage is a head-indexed buffer: live messages occupy [head_, buf_.size())
+// of one contiguous vector, so push and take_one(kFifo) are amortized O(1)
+// (the consumed prefix is compacted away once it dominates the storage) and
+// pending() stays a contiguous read-only view.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -22,10 +28,10 @@ enum class ReceiptOrder : std::uint8_t {
 
 class Channel {
  public:
-  void push(const Message& message) { pending_.push_back(message); }
+  void push(const Message& message) { buf_.push_back(message); }
 
-  bool empty() const noexcept { return pending_.empty(); }
-  std::size_t size() const noexcept { return pending_.size(); }
+  bool empty() const noexcept { return head_ == buf_.size(); }
+  std::size_t size() const noexcept { return buf_.size() - head_; }
 
   /// Moves all currently pending messages into `out` (cleared first),
   /// ordered per `order`.  Messages pushed after the call belong to the
@@ -33,6 +39,7 @@ class Channel {
   void drain(std::vector<Message>& out, ReceiptOrder order, util::Rng& rng);
 
   /// Removes and returns one message per `order`; channel must be non-empty.
+  /// kFifo is amortized O(1): the head index advances instead of erasing.
   Message take_one(ReceiptOrder order, util::Rng& rng);
 
   /// Moves each pending message into `out` (cleared first) independently
@@ -40,19 +47,30 @@ class Channel {
   /// slow channels (SchedulerKind::kDelayedRandom).
   void drain_sample(std::vector<Message>& out, double p, util::Rng& rng);
 
-  void clear() noexcept { pending_.clear(); }
+  void clear() noexcept {
+    buf_.clear();
+    head_ = 0;
+  }
 
-  /// Read-only view of the pending messages (graph-view extraction uses the
-  /// "implicit links given by the messages in the channel" of Def. 4.2).
-  const std::vector<Message>& pending() const noexcept { return pending_; }
+  /// Read-only view of the pending messages, oldest first (graph-view
+  /// extraction uses the "implicit links given by the messages in the
+  /// channel" of Def. 4.2).
+  std::span<const Message> pending() const noexcept {
+    return {buf_.data() + head_, size()};
+  }
 
-  /// Removes every pending message that references `id` in either payload
+  /// Removes every pending message that references `id` in any payload
   /// slot; returns how many were removed.  Used by fail-stop leave: the
   /// departed node's temporary (in-flight) links disappear with it.
   std::size_t purge_references(Id id);
 
  private:
-  std::vector<Message> pending_;
+  /// Drops the consumed prefix once it outweighs the live suffix, keeping
+  /// take_one(kFifo) amortized O(1) without unbounded storage growth.
+  void maybe_compact();
+
+  std::vector<Message> buf_;  // live messages are [head_, buf_.size())
+  std::size_t head_ = 0;
 };
 
 }  // namespace sssw::sim

@@ -24,7 +24,33 @@ void Context::send(Id to, const Message& message) { engine_.send(to, message); }
 util::Rng& Context::rng() { return engine_.rng_; }
 std::uint64_t Context::round() const noexcept { return engine_.counters_.rounds; }
 
-Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {}
+Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {
+  SSSW_CHECK_MSG(
+      config_.delivery_probability > 0.0 && config_.delivery_probability <= 1.0,
+      "EngineConfig::delivery_probability must lie in (0, 1]");
+}
+
+/// Recomputes every live slot's rank and rebuilds the pending-message
+/// Fenwick index from the channels.  O(n); called only on membership
+/// changes, which are rare next to atomic actions.
+void Engine::rebuild_schedule_index() {
+  rank_counts_.resize(order_.size());
+  pending_total_ = 0;
+  for (std::size_t rank = 0; rank < order_.size(); ++rank) {
+    Slot& slot = slots_[order_[rank]];
+    slot.rank = rank;
+    const std::size_t depth = slot.channel.size();
+    rank_counts_[rank] = static_cast<std::int64_t>(depth);
+    pending_total_ += depth;
+  }
+  pending_by_rank_.assign(rank_counts_);
+}
+
+void Engine::note_drained(Slot& slot, std::size_t removed) noexcept {
+  if (removed == 0) return;
+  pending_by_rank_.add(slot.rank, -static_cast<std::int64_t>(removed));
+  pending_total_ -= removed;
+}
 
 void Engine::add_process(std::unique_ptr<Process> process) {
   SSSW_CHECK(process != nullptr);
@@ -34,32 +60,39 @@ void Engine::add_process(std::unique_ptr<Process> process) {
   const std::size_t slot = slots_.size();
   slots_.push_back(Slot{std::move(process), Channel{}});
   index_.emplace(id, slot);
-  order_.clear();
-  order_.reserve(index_.size());
-  for (const auto& [node_id, slot_index] : index_) order_.push_back(slot_index);
+  // Canonical ordering: insert at the slot's id-sorted position instead of
+  // rebuilding from map iteration, so order_ is a pure function of the live
+  // id set.
+  const auto pos = std::lower_bound(
+      order_.begin(), order_.end(), id,
+      [this](std::size_t s, Id value) { return slots_[s].process->id() < value; });
+  order_.insert(pos, slot);
+  rebuild_schedule_index();
 }
 
 bool Engine::remove_process(Id id, bool purge_references) {
   const auto it = index_.find(id);
   if (it == index_.end()) return false;
-  slots_[it->second].process.reset();
-  slots_[it->second].channel.clear();
+  const std::size_t slot_index = it->second;
+  const std::size_t rank = slots_[slot_index].rank;
+  SSSW_DCHECK(rank < order_.size() && order_[rank] == slot_index);
+  slots_[slot_index].process.reset();
+  slots_[slot_index].channel.clear();
   index_.erase(it);
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(rank));
   // Fail-stop semantics (§IV.G): "the connections it had to and from other
   // nodes also disappear" — that includes the temporary links formed by
   // in-flight messages carrying the departed identifier.  Without this
   // purge, a stale lin message can re-poison a neighbour's l/r with an id
   // that no longer answers, wedging the gap open forever.
   if (purge_references) {
-    for (const std::size_t slot_index : order_) {
-      const std::size_t purged = slots_[slot_index].channel.purge_references(id);
+    for (const std::size_t survivor : order_) {
+      const std::size_t purged = slots_[survivor].channel.purge_references(id);
       counters_.dropped += purged;
       if (metrics_.dropped) metrics_.dropped->add(purged);
     }
   }
-  order_.clear();
-  order_.reserve(index_.size());
-  for (const auto& [node_id, slot_index] : index_) order_.push_back(slot_index);
+  rebuild_schedule_index();
   return true;
 }
 
@@ -100,13 +133,19 @@ void Engine::send(Id to, const Message& message) {
     if (metrics_.dropped) metrics_.dropped->add();
     return;
   }
-  slots_[it->second].channel.push(message);
+  Slot& slot = slots_[it->second];
+  slot.channel.push(message);
+  pending_by_rank_.add(slot.rank, 1);
+  ++pending_total_;
 }
 
 bool Engine::inject(Id to, const Message& message) {
   const auto it = index_.find(to);
   if (it == index_.end()) return false;
-  slots_[it->second].channel.push(message);
+  Slot& slot = slots_[it->second];
+  slot.channel.push(message);
+  pending_by_rank_.add(slot.rank, 1);
+  ++pending_total_;
   return true;
 }
 
@@ -143,11 +182,15 @@ void Engine::run_synchronous_round(ReceiptOrder order, bool shuffle_nodes) {
   if (arrivals_.size() < slots_.size()) arrivals_.resize(slots_.size());
   const bool delayed = config_.scheduler == SchedulerKind::kDelayedRandom;
   for (const std::size_t slot_index : node_order) {
+    Slot& slot = slots_[slot_index];
+    const std::size_t before = slot.channel.size();
     if (delayed) {
-      slots_[slot_index].channel.drain_sample(arrivals_[slot_index], 0.5, rng_);
+      slot.channel.drain_sample(arrivals_[slot_index],
+                                config_.delivery_probability, rng_);
     } else {
-      slots_[slot_index].channel.drain(arrivals_[slot_index], order, rng_);
+      slot.channel.drain(arrivals_[slot_index], order, rng_);
     }
+    note_drained(slot, before - slot.channel.size());
   }
 
   // Phase A: every node receives everything that was pending at round start.
@@ -175,8 +218,7 @@ void Engine::run_async_round() {
   if (budget == 0) budget = 1;
 
   for (std::size_t step = 0; step < budget; ++step) {
-    const std::size_t pending = pending_messages();
-    const std::size_t enabled = process_count() + pending;
+    const std::size_t enabled = process_count() + pending_total_;
     if (enabled == 0) break;
     std::size_t pick = rng_.below(enabled);
     if (pick < process_count()) {
@@ -187,16 +229,16 @@ void Engine::run_async_round() {
       slot.process->on_regular(ctx);
     } else {
       pick -= process_count();
-      // Walk channels to locate the pick-th pending message.
-      for (const std::size_t slot_index : order_) {
-        Slot& slot = slots_[slot_index];
-        if (pick < slot.channel.size()) {
-          const Message message = slot.channel.take_one(ReceiptOrder::kShuffled, rng_);
-          deliver(slot, message);
-          break;
-        }
-        pick -= slot.channel.size();
-      }
+      // Binary descent over the per-rank Fenwick index locates the channel
+      // holding the pick-th pending message in O(log n); ranks follow the
+      // canonical id order, so the pick → message mapping depends only on
+      // the current state, not on how it was reached.
+      const std::size_t rank =
+          pending_by_rank_.find_kth(static_cast<std::int64_t>(pick));
+      Slot& slot = slots_[order_[rank]];
+      const Message message = slot.channel.take_one(ReceiptOrder::kShuffled, rng_);
+      note_drained(slot, 1);
+      deliver(slot, message);
     }
   }
   finish_round();
@@ -221,9 +263,12 @@ void Engine::run_round() {
 
 void Engine::deliver_pending_once() {
   if (arrivals_.size() < slots_.size()) arrivals_.resize(slots_.size());
-  for (const std::size_t slot_index : order_)
-    slots_[slot_index].channel.drain(arrivals_[slot_index], ReceiptOrder::kShuffled,
-                                     rng_);
+  for (const std::size_t slot_index : order_) {
+    Slot& slot = slots_[slot_index];
+    const std::size_t before = slot.channel.size();
+    slot.channel.drain(arrivals_[slot_index], ReceiptOrder::kShuffled, rng_);
+    note_drained(slot, before - slot.channel.size());
+  }
   for (const std::size_t slot_index : order_) {
     Slot& slot = slots_[slot_index];
     if (!slot.process) continue;
@@ -250,12 +295,6 @@ void Engine::for_each_pending(
   for (const auto& [id, slot_index] : index_)
     for (const Message& message : slots_[slot_index].channel.pending())
       fn(id, message);
-}
-
-std::size_t Engine::pending_messages() const noexcept {
-  std::size_t total = 0;
-  for (const std::size_t slot_index : order_) total += slots_[slot_index].channel.size();
-  return total;
 }
 
 void Engine::attach_metrics(obs::Registry& registry) {

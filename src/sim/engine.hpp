@@ -17,6 +17,7 @@
 #include "sim/channel.hpp"
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
+#include "util/fenwick.hpp"
 #include "util/rng.hpp"
 
 namespace sssw::sim {
@@ -60,6 +61,10 @@ struct EngineConfig {
   /// In kRandomAsync, number of atomic actions that count as one "round"
   /// when 0: defaults to (#processes + #pending messages) per round.
   std::size_t async_actions_per_round = 0;
+  /// In kDelayedRandom, each pending message is independently delivered in a
+  /// given round with this probability (the paper's slow-channel adversary
+  /// used 1/2).  Must lie in (0, 1]; validated at engine construction.
+  double delivery_probability = 0.5;
   /// Each sent message is independently lost with this probability.  The
   /// paper's model assumes lossless channels; a self-stabilizing protocol
   /// that re-announces its state every round tolerates loss anyway — this
@@ -131,8 +136,9 @@ class Engine {
   /// `max_rounds` elapse; returns true iff the predicate held.
   bool run_until(const std::function<bool()>& predicate, std::size_t max_rounds);
 
-  /// Total number of messages currently in channels.
-  std::size_t pending_messages() const noexcept;
+  /// Total number of messages currently in channels.  O(1): the count is
+  /// maintained incrementally by send/inject/delivery/purge, not recomputed.
+  std::size_t pending_messages() const noexcept { return pending_total_; }
 
   /// Applies `fn` to every pending message with its destination identifier
   /// (the channel's owner), in ascending owner order.
@@ -185,6 +191,9 @@ class Engine {
   struct Slot {
     std::unique_ptr<Process> process;
     Channel channel;
+    /// This slot's position in order_ (its rank among live ids).  Lets the
+    /// hot paths map slot → Fenwick index in O(1).  Stale for dead slots.
+    std::size_t rank = 0;
   };
 
   /// Cached metric handles (registry-owned); all null when detached, so the
@@ -205,13 +214,26 @@ class Engine {
   void run_synchronous_round(ReceiptOrder order, bool shuffle_nodes);
   void run_async_round();
   void finish_round();
+  void rebuild_schedule_index();
+  void note_drained(Slot& slot, std::size_t removed) noexcept;
 
   EngineConfig config_;
   util::Rng rng_;
   // Ordered by identifier: gives deterministic iteration and O(log n) lookup.
   std::map<Id, std::size_t> index_;
   std::vector<Slot> slots_;        // dense storage; holes after removal
-  std::vector<std::size_t> order_; // live slot indices, ascending by id
+  // Canonical scheduling order: live slot indices, ascending by node id,
+  // maintained by sorted insert/erase (never rebuilt from map/hash
+  // iteration).  Every scheduler draws from this order, so trajectories are
+  // a function of (node set, channel contents, seed) alone — bit-identical
+  // across platforms, stdlibs, and join/leave histories that reach the same
+  // state.
+  std::vector<std::size_t> order_;
+  // Pending messages per order_-rank, Fenwick-indexed: the async scheduler
+  // finds the pick-th pending message by binary descent in O(log n).
+  util::Fenwick pending_by_rank_;
+  std::size_t pending_total_ = 0;  // sum of all channel sizes, kept in step
+  std::vector<std::int64_t> rank_counts_;  // rebuild scratch, reused
   EngineCounters counters_;
   Metrics metrics_;
   HookId next_hook_id_ = 1;

@@ -1,0 +1,92 @@
+// fenwick.hpp — a Fenwick (binary indexed) tree over non-negative counts.
+//
+// The engine keeps one of these over per-node pending-message counts so the
+// random-asynchronous scheduler can locate the pick-th pending message by
+// binary descent in O(log n) instead of walking every channel.  The tree is
+// deliberately minimal: point update, prefix sum, kth-element descent, and a
+// linear-time bulk (re)build for when the index space itself changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sssw::util {
+
+/// Fenwick tree of `size()` signed 64-bit counts, all initially zero.
+/// Individual counts must stay non-negative for find_kth to be meaningful;
+/// update deltas may be negative.
+class Fenwick {
+ public:
+  Fenwick() = default;
+  explicit Fenwick(std::size_t size) { assign(size); }
+
+  std::size_t size() const noexcept { return size_; }
+  std::int64_t total() const noexcept { return total_; }
+
+  /// Resets to `size` zero counts.
+  void assign(std::size_t size) {
+    size_ = size;
+    total_ = 0;
+    tree_.assign(size + 1, 0);
+  }
+
+  /// Rebuilds from explicit counts in O(n).
+  void assign(const std::vector<std::int64_t>& counts) {
+    assign(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::size_t node = i + 1;
+      tree_[node] += counts[i];
+      total_ += counts[i];
+      const std::size_t parent = node + (node & (~node + 1));
+      if (parent <= size_) tree_[parent] += tree_[node];
+    }
+  }
+
+  /// Adds `delta` to the count at index `i`.
+  void add(std::size_t i, std::int64_t delta) noexcept {
+    SSSW_DCHECK(i < size_);
+    total_ += delta;
+    for (std::size_t node = i + 1; node <= size_; node += node & (~node + 1))
+      tree_[node] += delta;
+  }
+
+  /// Sum of counts over [0, end).
+  std::int64_t prefix(std::size_t end) const noexcept {
+    std::int64_t sum = 0;
+    for (std::size_t node = end; node > 0; node -= node & (~node + 1))
+      sum += tree_[node];
+    return sum;
+  }
+
+  /// The count at index `i`.
+  std::int64_t at(std::size_t i) const noexcept {
+    return prefix(i + 1) - prefix(i);
+  }
+
+  /// Index of the element containing the k-th item (0-based): the smallest i
+  /// with prefix(i+1) > k.  Requires 0 <= k < total().  O(log n) descent.
+  std::size_t find_kth(std::int64_t k) const noexcept {
+    SSSW_DCHECK(k >= 0 && k < total_);
+    std::size_t node = 0;
+    std::size_t mask = 1;
+    while (mask <= size_) mask <<= 1;
+    for (mask >>= 1; mask > 0; mask >>= 1) {
+      const std::size_t next = node + mask;
+      if (next <= size_ && tree_[next] <= k) {
+        node = next;
+        k -= tree_[next];
+      }
+    }
+    return node;  // node is 1-based position of the predecessor ⇒ 0-based index
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> tree_;  // 1-based; tree_[0] unused
+};
+
+}  // namespace sssw::util

@@ -80,6 +80,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) noexcept {
+  if (!std::isfinite(x)) {
+    // double→integer conversion of NaN (and of ±inf) is undefined behaviour;
+    // before this guard a NaN sample could land in an arbitrary bin.
+    ++rejected_;
+    return;
+  }
   auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
   idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   counts_[static_cast<std::size_t>(idx)] += weight;
@@ -104,7 +110,12 @@ LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
 }
 
 void LogHistogram::add(double x, double weight) noexcept {
-  if (x <= 0.0) return;
+  if (!std::isfinite(x) || x <= 0.0) {
+    // NaN/±inf would hit undefined double→integer conversion; non-positive
+    // samples have no log image.  All are counted instead of silently lost.
+    ++rejected_;
+    return;
+  }
   auto idx = static_cast<std::ptrdiff_t>((std::log(x) - log_lo_) / log_width_);
   idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   counts_[static_cast<std::size_t>(idx)] += weight;

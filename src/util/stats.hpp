@@ -57,8 +57,9 @@ Summary summarize(std::span<const double> data);
 /// Percentile in [0,100] with linear interpolation over *sorted* data.
 double percentile_sorted(std::span<const double> sorted, double pct);
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bin so nothing is silently dropped.
+/// Fixed-width histogram over [lo, hi); finite out-of-range samples clamp to
+/// the first/last bin so nothing is silently dropped.  Non-finite samples
+/// (NaN, ±inf) are skipped and tallied in rejected().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -70,10 +71,13 @@ class Histogram {
   double bin_center(std::size_t i) const noexcept;
   double count(std::size_t i) const noexcept { return counts_[i]; }
   double total() const noexcept { return total_; }
+  /// Number of samples refused because they were NaN or ±inf.
+  std::uint64_t rejected() const noexcept { return rejected_; }
 
  private:
   double lo_, hi_, width_;
   double total_ = 0.0;
+  std::uint64_t rejected_ = 0;
   std::vector<double> counts_;
 };
 
@@ -93,10 +97,13 @@ class LogHistogram {
   /// Count divided by bin width — the empirical density at the bin centre.
   double density(std::size_t i) const noexcept;
   double total() const noexcept { return total_; }
+  /// Number of samples refused: NaN, ±inf, or non-positive (no log image).
+  std::uint64_t rejected() const noexcept { return rejected_; }
 
  private:
   double log_lo_, log_hi_, log_width_;
   double total_ = 0.0;
+  std::uint64_t rejected_ = 0;
   std::vector<double> counts_;
 };
 

@@ -70,13 +70,21 @@ void ThreadPool::parallel_for(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+ThreadPool& shared_pool() {
+  // Lazily constructed on first parallel call and reused for the rest of the
+  // process — spawning and joining a fresh pool per call costs more than the
+  // work it parallelizes for short loops.  Function-local static
+  // initialization is thread-safe; workers are joined at exit.
+  static ThreadPool pool;
+  return pool;
+}
+
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
   if (count <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  ThreadPool pool;
-  pool.parallel_for(count, body);
+  shared_pool().parallel_for(count, body);
 }
 
 }  // namespace sssw::util

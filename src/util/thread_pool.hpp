@@ -58,8 +58,12 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience: runs body(i) for i in [0, count) on a transient pool sized to
-/// the hardware, or serially when count is tiny.
+/// The process-wide pool backing the free parallel_for: lazily constructed
+/// (hardware-sized) on first use, then reused for the life of the process.
+ThreadPool& shared_pool();
+
+/// Convenience: runs body(i) for i in [0, count) on the shared pool, or
+/// serially when count <= 1 (no pool is ever constructed in that case).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
 }  // namespace sssw::util

@@ -200,5 +200,78 @@ TEST(Channel, PendingAccessor) {
   EXPECT_DOUBLE_EQ(c.pending()[0].id1, 4.0);
 }
 
+TEST(Channel, PendingViewTracksFifoHead) {
+  // The head-indexed buffer must expose exactly the live suffix, oldest
+  // first, even while the consumed prefix is still physically present.
+  Channel c;
+  util::Rng rng(1);
+  for (int i = 0; i < 8; ++i) c.push(msg(i + 1.0));
+  c.take_one(ReceiptOrder::kFifo, rng);
+  c.take_one(ReceiptOrder::kFifo, rng);
+  ASSERT_EQ(c.pending().size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(c.pending()[i].id1, i + 3.0);
+}
+
+TEST(Channel, FifoTakeAfterManyTakesStaysConstantTime) {
+  // Compaction keeps the consumed prefix bounded; FIFO order must survive
+  // arbitrarily many take/push cycles (this is the amortized-O(1) contract).
+  Channel c;
+  util::Rng rng(1);
+  double next_push = 1.0, next_expect = 1.0;
+  for (int i = 0; i < 128; ++i) c.push(msg(next_push++));
+  for (int cycle = 0; cycle < 5000; ++cycle) {
+    EXPECT_DOUBLE_EQ(c.take_one(ReceiptOrder::kFifo, rng).id1, next_expect++);
+    c.push(msg(next_push++));
+  }
+  EXPECT_EQ(c.size(), 128u);
+}
+
+TEST(Channel, RingBufferPropertyMixedOperations) {
+  // Property test: under mixed push / take_one(kFifo) / drain(kFifo) /
+  // purge_references sequences, the channel behaves exactly like an ideal
+  // FIFO queue (the reference model below).
+  Channel c;
+  util::Rng rng(77);
+  util::Rng op_rng(123);
+  std::vector<Message> model;  // front = oldest
+  std::vector<Message> out;
+  double next = 1.0;
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t op = op_rng.below(100);
+    if (op < 55) {
+      const Message m{0, next, op_rng.bernoulli(0.1) ? 0.25 : kPosInf};
+      ++next;
+      c.push(m);
+      model.push_back(m);
+    } else if (op < 85) {
+      if (!c.empty()) {
+        const Message got = c.take_one(ReceiptOrder::kFifo, rng);
+        ASSERT_DOUBLE_EQ(got.id1, model.front().id1);
+        model.erase(model.begin());
+      }
+    } else if (op < 95) {
+      const std::size_t purged = c.purge_references(0.25);
+      std::size_t expected = 0;
+      std::erase_if(model, [&expected](const Message& m) {
+        const bool hit = m.id1 == 0.25 || m.id2 == 0.25 || m.id3 == 0.25;
+        expected += hit ? 1u : 0u;
+        return hit;
+      });
+      ASSERT_EQ(purged, expected);
+    } else {
+      c.drain(out, ReceiptOrder::kFifo, rng);
+      ASSERT_EQ(out.size(), model.size());
+      for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_DOUBLE_EQ(out[i].id1, model[i].id1);
+      model.clear();
+    }
+    ASSERT_EQ(c.size(), model.size());
+    // The pending view must agree with the model at every step.
+    const auto view = c.pending();
+    for (std::size_t i = 0; i < model.size(); ++i)
+      ASSERT_DOUBLE_EQ(view[i].id1, model[i].id1);
+  }
+}
+
 }  // namespace
 }  // namespace sssw::sim

@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <sstream>
 #include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/snapshotter.hpp"
 
 namespace sssw::sim {
 namespace {
@@ -302,6 +307,173 @@ TEST(Engine, ForEachPendingSeesChannelContents) {
     ++pending;
   });
   EXPECT_EQ(pending, 1);
+}
+
+TEST(Engine, DeliveryProbabilityValidated) {
+  EXPECT_DEATH(Engine(EngineConfig{.delivery_probability = 0.0}),
+               "delivery_probability");
+  EXPECT_DEATH(Engine(EngineConfig{.delivery_probability = 1.5}),
+               "delivery_probability");
+}
+
+TEST(Engine, DelayedRandomHonorsDeliveryProbabilityOne) {
+  // With delivery probability 1 the "slow channel" degenerates into the
+  // synchronous scheduler: every pending message arrives the next round.
+  Engine engine(EngineConfig{.scheduler = SchedulerKind::kDelayedRandom,
+                             .seed = 3,
+                             .delivery_probability = 1.0});
+  engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+  engine.add_process(std::make_unique<Probe>(0.9));
+  engine.run_rounds(5);
+  const auto* receiver = dynamic_cast<const Probe*>(engine.find(0.9));
+  ASSERT_NE(receiver, nullptr);
+  EXPECT_EQ(receiver->received.size(), 4u);  // round-k send arrives round k+1
+}
+
+TEST(Engine, DelayedRandomLowProbabilityBacklogs) {
+  Engine slow(EngineConfig{.scheduler = SchedulerKind::kDelayedRandom,
+                           .seed = 3,
+                           .delivery_probability = 0.05});
+  slow.add_process(std::make_unique<Sender>(0.1, 0.9));
+  slow.add_process(std::make_unique<Probe>(0.9));
+  slow.run_rounds(20);
+  const auto* receiver = dynamic_cast<const Probe*>(slow.find(0.9));
+  // One send per round, 20 rounds; at p=0.05 most must still be in flight,
+  // and delivered + pending always accounts for every send.
+  EXPECT_LT(receiver->received.size(), 10u);
+  EXPECT_EQ(receiver->received.size() + slow.pending_messages(), 20u);
+}
+
+/// Records the order in which regular actions fire, for the canonical
+/// scheduling-order contract tests.
+class OrderSpy final : public Process {
+ public:
+  OrderSpy(Id id, std::vector<Id>* log) : id_(id), log_(log) {}
+  Id id() const noexcept override { return id_; }
+  void on_message(Context&, const Message&) override {}
+  void on_regular(Context&) override { log_->push_back(id_); }
+
+ private:
+  Id id_;
+  std::vector<Id>* log_;
+};
+
+TEST(Engine, AdversarialLifoRunsRegularActionsInAscendingIdOrder) {
+  // The "fixed order" promised by kAdversarialLifo is the canonical id-sorted
+  // order — independent of insertion history and of any container hash.
+  std::vector<Id> log;
+  Engine engine = make_engine(SchedulerKind::kAdversarialLifo);
+  engine.add_process(std::make_unique<OrderSpy>(0.9, &log));
+  engine.add_process(std::make_unique<OrderSpy>(0.1, &log));
+  engine.add_process(std::make_unique<OrderSpy>(0.5, &log));
+  engine.remove_process(0.5);
+  engine.add_process(std::make_unique<OrderSpy>(0.3, &log));
+  engine.run_round();
+  EXPECT_EQ(log, (std::vector<Id>{0.1, 0.3, 0.9}));
+}
+
+TEST(Engine, IdsStaySortedAcrossChurn) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Probe>(0.8));
+  engine.add_process(std::make_unique<Probe>(0.2));
+  engine.add_process(std::make_unique<Probe>(0.5));
+  engine.remove_process(0.5);
+  engine.add_process(std::make_unique<Probe>(0.4));
+  engine.add_process(std::make_unique<Probe>(0.05));
+  engine.remove_process(0.8);
+  const auto ids = engine.ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(Engine, PendingCountStaysConsistentAcrossChurnAndAsyncRounds) {
+  // pending_messages() is maintained incrementally; this cross-checks it
+  // against an exhaustive channel walk after every perturbation.
+  Engine engine = make_engine(SchedulerKind::kRandomAsync, 11);
+  const auto audit = [&engine] {
+    std::size_t counted = 0;
+    engine.for_each_pending([&counted](Id, const Message&) { ++counted; });
+    ASSERT_EQ(engine.pending_messages(), counted);
+  };
+  const std::vector<double> ring{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    engine.add_process(
+        std::make_unique<Sender>(ring[i], ring[(i + 1) % ring.size()]));
+  audit();
+  engine.run_rounds(3);
+  audit();
+  engine.inject(0.2, Message{1, 0.3});
+  engine.inject(0.2, Message{1, 0.4});
+  audit();
+  engine.remove_process(0.3);  // clears 0.3's channel, purges references
+  audit();
+  engine.run_rounds(3);
+  audit();
+  engine.add_process(std::make_unique<Sender>(0.35, 0.2));
+  engine.run_rounds(2);
+  audit();
+  engine.deliver_pending_once();
+  audit();
+  EXPECT_EQ(engine.pending_messages(), 0u);
+}
+
+/// Runs a small forwarding network with interleaved add/remove churn under
+/// `kind`, streaming every metrics snapshot to a string.  Determinism means
+/// two invocations return byte-identical streams.
+std::string churn_stream(SchedulerKind kind, std::uint64_t seed,
+                         bool reversed_setup = false) {
+  obs::Registry registry;
+  Engine engine(EngineConfig{.scheduler = kind, .seed = seed});
+  engine.attach_metrics(registry);
+  std::ostringstream out;
+  obs::Snapshotter snaps(registry, out, /*every=*/1);
+  engine.add_round_hook([&snaps](std::uint64_t round) { snaps.poll(round); });
+
+  // A fixed directed ring: each id's target depends only on the id itself,
+  // so reversing the *registration* order leaves the topology unchanged.
+  const std::vector<double> ring{0.1, 0.25, 0.4, 0.55, 0.7, 0.85};
+  const auto target = [&ring](double id) {
+    for (std::size_t i = 0; i < ring.size(); ++i)
+      if (ring[i] == id) return ring[(i + 1) % ring.size()];
+    return ring.front();
+  };
+  std::vector<double> ids = ring;
+  if (reversed_setup) std::reverse(ids.begin(), ids.end());
+  for (const double id : ids)
+    engine.add_process(std::make_unique<Sender>(id, target(id)));
+  engine.run_rounds(4);
+  engine.add_process(std::make_unique<Sender>(0.15, 0.4));
+  engine.run_rounds(2);
+  engine.remove_process(0.55);
+  engine.run_rounds(2);
+  engine.add_process(std::make_unique<Sender>(0.95, 0.15));
+  engine.remove_process(0.1);
+  engine.run_rounds(4);
+  snaps.write(engine.round());
+  return out.str();
+}
+
+TEST(Engine, MetricsStreamIsBitReproducibleForEveryScheduler) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSynchronous, SchedulerKind::kRandomAsync,
+        SchedulerKind::kAdversarialLifo, SchedulerKind::kDelayedRandom}) {
+    const std::string first = churn_stream(kind, 7);
+    const std::string second = churn_stream(kind, 7);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second) << "scheduler " << to_string(kind);
+  }
+}
+
+TEST(Engine, TrajectoryIndependentOfInsertionOrder) {
+  // Canonical order_ contract: the schedule is a function of the live id set
+  // and the seed, not of the order in which processes were registered.
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSynchronous, SchedulerKind::kRandomAsync,
+        SchedulerKind::kAdversarialLifo, SchedulerKind::kDelayedRandom}) {
+    EXPECT_EQ(churn_stream(kind, 7, /*reversed_setup=*/false),
+              churn_stream(kind, 7, /*reversed_setup=*/true))
+        << "scheduler " << to_string(kind);
+  }
 }
 
 TEST(Engine, MessagesToRemovedProcessDropped) {

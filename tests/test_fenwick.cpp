@@ -1,0 +1,103 @@
+// Tests for util/fenwick: prefix sums, point updates, kth-element descent.
+#include "util/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sssw::util {
+namespace {
+
+TEST(Fenwick, EmptyTree) {
+  Fenwick tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.total(), 0);
+  EXPECT_EQ(tree.prefix(0), 0);
+}
+
+TEST(Fenwick, AddAndPrefix) {
+  Fenwick tree(5);
+  tree.add(0, 3);
+  tree.add(2, 1);
+  tree.add(4, 2);
+  EXPECT_EQ(tree.total(), 6);
+  EXPECT_EQ(tree.prefix(0), 0);
+  EXPECT_EQ(tree.prefix(1), 3);
+  EXPECT_EQ(tree.prefix(3), 4);
+  EXPECT_EQ(tree.prefix(5), 6);
+  EXPECT_EQ(tree.at(0), 3);
+  EXPECT_EQ(tree.at(1), 0);
+  EXPECT_EQ(tree.at(4), 2);
+}
+
+TEST(Fenwick, NegativeDeltas) {
+  Fenwick tree(3);
+  tree.add(1, 5);
+  tree.add(1, -3);
+  EXPECT_EQ(tree.at(1), 2);
+  EXPECT_EQ(tree.total(), 2);
+}
+
+TEST(Fenwick, AssignCounts) {
+  Fenwick tree;
+  tree.assign({4, 0, 1, 7, 0, 2});
+  EXPECT_EQ(tree.size(), 6u);
+  EXPECT_EQ(tree.total(), 14);
+  EXPECT_EQ(tree.prefix(4), 12);
+  EXPECT_EQ(tree.at(3), 7);
+  // Re-assign replaces wholesale.
+  tree.assign(2);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.total(), 0);
+}
+
+TEST(Fenwick, FindKthWalksEveryItem) {
+  Fenwick tree;
+  tree.assign({2, 0, 3, 1});
+  // Items 0,1 live at index 0; 2,3,4 at index 2; 5 at index 3.
+  const std::vector<std::size_t> expected{0, 0, 2, 2, 2, 3};
+  for (std::int64_t k = 0; k < tree.total(); ++k)
+    EXPECT_EQ(tree.find_kth(k), expected[static_cast<std::size_t>(k)]) << "k=" << k;
+}
+
+TEST(Fenwick, FindKthSingleElement) {
+  Fenwick tree(1);
+  tree.add(0, 4);
+  for (std::int64_t k = 0; k < 4; ++k) EXPECT_EQ(tree.find_kth(k), 0u);
+}
+
+TEST(Fenwick, MatchesNaiveUnderRandomChurn) {
+  Rng rng(2026);
+  const std::size_t size = 57;  // non-power-of-two stresses the descent mask
+  Fenwick tree(size);
+  std::vector<std::int64_t> naive(size, 0);
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t i = rng.below(size);
+    // Mix of increments and (clamped) decrements keeps counts non-negative.
+    const std::int64_t delta =
+        rng.bernoulli(0.4) && naive[i] > 0 ? -1 : static_cast<std::int64_t>(1);
+    tree.add(i, delta);
+    naive[i] += delta;
+
+    const std::size_t probe = rng.below(size + 1);
+    std::int64_t expected = 0;
+    for (std::size_t j = 0; j < probe; ++j) expected += naive[j];
+    ASSERT_EQ(tree.prefix(probe), expected);
+
+    if (tree.total() > 0) {
+      const auto k = static_cast<std::int64_t>(
+          rng.below(static_cast<std::size_t>(tree.total())));
+      const std::size_t found = tree.find_kth(k);
+      // found must hold the k-th item: prefix(found) <= k < prefix(found+1).
+      ASSERT_GT(naive[found], 0);
+      ASSERT_LE(tree.prefix(found), k);
+      ASSERT_GT(tree.prefix(found + 1), k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sssw::util

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -255,6 +256,30 @@ TEST(BootstrapCi, DegenerateInputs) {
   const Interval single = bootstrap_mean_ci(one, 0.95, 100, rng);
   EXPECT_EQ(single.lo, 42.0);
   EXPECT_EQ(single.hi, 42.0);
+}
+
+TEST(Histogram, RejectsNonFiniteSamples) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity(), 3.0);
+  EXPECT_EQ(h.rejected(), 3u);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);  // rejected samples never reach a bin
+  double binned = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.count(i);
+  EXPECT_DOUBLE_EQ(binned, 1.0);
+}
+
+TEST(LogHistogram, RejectsNonFiniteAndNonPositiveSamples) {
+  LogHistogram h(1.0, 1000.0, 6);
+  h.add(50.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(0.0);    // no log image
+  h.add(-4.0);   // likewise
+  EXPECT_EQ(h.rejected(), 4u);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
 }
 
 TEST(BootstrapCi, RoughCoverage) {

@@ -88,6 +88,23 @@ TEST(FreeParallelFor, ParallelPath) {
   EXPECT_EQ(total, 256);
 }
 
+TEST(FreeParallelFor, SharedPoolIsReused) {
+  ThreadPool& first = shared_pool();
+  ThreadPool& second = shared_pool();
+  EXPECT_EQ(&first, &second);
+  EXPECT_GT(first.size(), 0u);
+}
+
+TEST(FreeParallelFor, RepeatedCallsStayCorrect) {
+  // The free function must not spin up a fresh pool per call; hammering it
+  // checks both correctness and that worker reuse doesn't corrupt state.
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<std::atomic<int>> hits(64);
+    parallel_for(64, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ThreadPool, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   std::vector<long> results(500);

@@ -102,6 +102,8 @@ int main(int argc, char** argv) {
   std::int64_t n = 32;
   std::int64_t seed = 7;
   std::string shape_name = "random-chain";
+  std::string scheduler_name = "synchronous";
+  double delivery_prob = 0.5;
   std::string script;
   std::string metrics_path;
   std::int64_t metrics_every = 100;
@@ -109,6 +111,12 @@ int main(int argc, char** argv) {
   cli.flag("n", "number of nodes", &n);
   cli.flag("seed", "random seed", &seed);
   cli.flag("shape", "initial topology shape", &shape_name);
+  cli.flag("scheduler",
+           "synchronous | random-async | adversarial-lifo | delayed-random",
+           &scheduler_name);
+  cli.flag("delivery-prob",
+           "delayed-random only: per-round delivery probability, in (0,1]",
+           &delivery_prob);
   cli.flag("script", "read commands from this file instead of stdin", &script);
   cli.flag("metrics", "stream the metrics registry to this JSONL file", &metrics_path);
   cli.flag("metrics-every", "rounds between metric snapshots", &metrics_every);
@@ -117,14 +125,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--metrics-every must be positive\n");
     return 1;
   }
+  if (!(delivery_prob > 0.0 && delivery_prob <= 1.0)) {
+    std::fprintf(stderr, "--delivery-prob must lie in (0, 1]\n");
+    return 1;
+  }
 
   topology::InitialShape shape = topology::InitialShape::kRandomChain;
   for (const auto candidate : topology::kAllShapes)
     if (shape_name == topology::to_string(candidate)) shape = candidate;
 
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kSynchronous;
+  bool scheduler_known = false;
+  for (const auto candidate :
+       {sim::SchedulerKind::kSynchronous, sim::SchedulerKind::kRandomAsync,
+        sim::SchedulerKind::kAdversarialLifo, sim::SchedulerKind::kDelayedRandom}) {
+    if (scheduler_name == sim::to_string(candidate)) {
+      scheduler = candidate;
+      scheduler_known = true;
+    }
+  }
+  if (!scheduler_known) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", scheduler_name.c_str());
+    return 1;
+  }
+
   util::Rng rng(static_cast<std::uint64_t>(seed));
   core::NetworkOptions options;
   options.seed = static_cast<std::uint64_t>(seed);
+  options.scheduler = scheduler;
+  options.delivery_probability = delivery_prob;
   options.protocol.failure_timeout = 16;  // crash-stop works out of the box
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(
