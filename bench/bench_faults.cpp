@@ -1,0 +1,216 @@
+// bench_faults — experiment E13: convergence under an active fault adversary.
+//
+// The paper's Theorems 4.3/4.9/4.18 assume reliable (if unordered) channels.
+// E13 measures how far reality can degrade before convergence does: each
+// sweep turns up one FaultPlan dimension (duplication, extra delay, transient
+// partition, stale replay) or the oldest-last adversary's hold time, and
+// reports:
+//   rounds        mean rounds until the sorted ring (converged trials)
+//   converged     fraction of trials that made it within the budget
+//   survived      fraction whose CC stayed weakly connected through the window
+//   injected      mean fault events the adversary actually injected
+// Expected shape: duplication and replay barely move rounds (the protocol is
+// idempotent; note duplication IS supercritical for steady-state traffic
+// after ring formation — doc/FAULTS.md — but every sweep here stops at the
+// ring, so the branching blow-up never enters), bounded delay scales rounds
+// by ~the delay factor.  A transient
+// partition is the one adversary that can defeat Lemma 4.10 outright: dropping
+// a crossing message destroys the reference it carried, so `survived` < 1 is
+// expected — and every surviving trial must still converge.
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "core/invariants.hpp"
+#include "sim/faults.hpp"
+#include "topology/initial_states.hpp"
+
+namespace {
+
+using namespace sssw;
+
+struct SweepResult {
+  double rounds = 0;     ///< mean rounds to the sorted ring over converged trials
+  double converged = 0;  ///< fraction of trials that converged in budget
+  double survived = 0;   ///< fraction still weakly connected after the window
+  double injected = 0;   ///< mean fault events injected per trial
+};
+
+SweepResult run_sweep(std::size_t n, const sim::FaultPlan& plan,
+                      sim::SchedulerKind scheduler, std::uint32_t adversary_delay,
+                      std::size_t budget, std::uint64_t seed_base, int trials) {
+  SweepResult result;
+  double sum_rounds = 0;
+  int converged = 0;
+  int survived = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(trial);
+    util::Rng rng(seed);
+    auto ids = core::random_ids(n, rng);
+    core::NetworkOptions options;
+    options.scheduler = scheduler;
+    options.seed = seed;
+    options.faults = plan;
+    options.adversary_delay = adversary_delay;
+    core::SmallWorldNetwork net(options);
+    net.add_nodes(topology::make_initial_state(topology::InitialShape::kRandomChain,
+                                               std::move(ids), rng));
+    // A partition may legitimately sever the CC (a dropped crossing message
+    // takes its reference with it) — run the window out first and only chase
+    // the ring if the network is still one component; the sorted ring is
+    // unreachable from a split CC, so the budget would be pure waste.
+    std::size_t window = 0;
+    if (plan.partition_rounds > 0) {
+      window = static_cast<std::size_t>(plan.partition_start + plan.partition_rounds);
+      net.run_rounds(window);
+      if (!core::cc_weakly_connected(net.engine())) {
+        const sim::FaultCounters& f = net.engine().counters().faults;
+        result.injected += static_cast<double>(f.duplicated + f.delayed +
+                                               f.replayed + f.partition_dropped);
+        continue;
+      }
+    }
+    ++survived;
+    if (const auto rounds = net.run_until_sorted_ring(budget - window)) {
+      sum_rounds += static_cast<double>(window + *rounds);
+      ++converged;
+    }
+    const sim::FaultCounters& f = net.engine().counters().faults;
+    result.injected += static_cast<double>(f.duplicated + f.delayed + f.replayed +
+                                           f.partition_dropped);
+  }
+  result.rounds = converged > 0 ? sum_rounds / converged : -1.0;
+  result.converged = static_cast<double>(converged) / trials;
+  result.survived = static_cast<double>(survived) / trials;
+  result.injected /= trials;
+  return result;
+}
+
+void report(benchmark::State& state, const SweepResult& result) {
+  state.counters["rounds"] = result.rounds;
+  state.counters["converged"] = result.converged;
+  state.counters["survived"] = result.survived;
+  state.counters["injected"] = result.injected;
+}
+
+constexpr std::size_t kN = 64;
+constexpr int kTrials = 4;
+
+// Budget mirrors analysis::round_bound: the theorem-shaped 400n + 4000 bound
+// times the worst-case latency factor of the active adversary.
+constexpr std::size_t kBaseBudget = 400 * kN + 4000;
+
+void BM_Faults_Duplicate(benchmark::State& state) {
+  // state.range(0) = duplication probability in percent.
+  sim::FaultPlan plan;
+  plan.duplicate_probability = static_cast<double>(state.range(0)) / 100.0;
+  SweepResult result;
+  for (auto _ : state)
+    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3, kBaseBudget,
+                       bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
+                       kTrials);
+  report(state, result);
+  state.counters["p_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Faults_Duplicate)->Arg(0)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Faults_Delay(benchmark::State& state) {
+  // state.range(0) = delay probability in percent; every delayed message is
+  // held 1..3 extra rounds.
+  sim::FaultPlan plan;
+  plan.delay_probability = static_cast<double>(state.range(0)) / 100.0;
+  plan.max_delay_rounds = 3;
+  SweepResult result;
+  for (auto _ : state)
+    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3,
+                       kBaseBudget * (1 + plan.max_delay_rounds),
+                       bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
+                       kTrials);
+  report(state, result);
+  state.counters["p_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Faults_Delay)->Arg(0)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Faults_Partition(benchmark::State& state) {
+  // state.range(0) = partition duration in rounds, state.range(1) = pivot
+  // position in percent of the id space; the window opens at round 2
+  // (mid-stabilization, the worst case: most crossing references are in
+  // flight, and move semantics means a dropped message destroys the only
+  // copy).  The observable is `survived` as much as `rounds` — a median
+  // split severs the CC almost surely, an off-center pivot much less often.
+  sim::FaultPlan plan;
+  plan.partition_start = 2;
+  plan.partition_rounds = static_cast<std::uint64_t>(state.range(0));
+  plan.partition_pivot = static_cast<double>(state.range(1)) / 100.0;
+  SweepResult result;
+  for (auto _ : state)
+    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3,
+                       kBaseBudget + plan.partition_start + plan.partition_rounds,
+                       bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
+                       8);
+  report(state, result);
+  state.counters["part_rounds"] = static_cast<double>(state.range(0));
+  state.counters["pivot_pct"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_Faults_Partition)
+    ->Args({0, 50})->Args({1, 50})->Args({4, 50})->Args({8, 50})
+    ->Args({1, 5})->Args({4, 5})->Args({8, 5})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Faults_Replay(benchmark::State& state) {
+  // state.range(0) = replay probability in percent over a 16-message history.
+  sim::FaultPlan plan;
+  plan.replay_probability = static_cast<double>(state.range(0)) / 100.0;
+  plan.replay_history = 16;
+  SweepResult result;
+  for (auto _ : state)
+    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3, kBaseBudget,
+                       bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
+                       kTrials);
+  report(state, result);
+  state.counters["p_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Faults_Replay)->Arg(0)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Faults_OldestLast(benchmark::State& state) {
+  // state.range(0) = adversary hold time in rounds under the starvation-
+  // bounded oldest-last scheduler (every message waits exactly this long).
+  const auto delay = static_cast<std::uint32_t>(state.range(0));
+  SweepResult result;
+  for (auto _ : state)
+    result = run_sweep(kN, sim::FaultPlan{}, sim::SchedulerKind::kAdversarialOldestLast,
+                       delay, kBaseBudget * (1 + delay),
+                       bench::kBaseSeed + delay, kTrials);
+  report(state, result);
+  state.counters["hold"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Faults_OldestLast)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Faults_AllAtOnce(benchmark::State& state) {
+  // Every dimension live at moderate intensity — the fuzzer's worst corner
+  // as a single tracked number.
+  sim::FaultPlan plan;
+  plan.duplicate_probability = 0.1;
+  plan.delay_probability = 0.1;
+  plan.max_delay_rounds = 3;
+  plan.partition_start = 2;
+  plan.partition_rounds = 8;
+  plan.partition_pivot = 0.05;  // off-center: severing is possible, not certain
+  plan.replay_probability = 0.05;
+  plan.replay_history = 16;
+  SweepResult result;
+  for (auto _ : state)
+    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3,
+                       kBaseBudget * (1 + plan.max_delay_rounds) +
+                           plan.partition_start + plan.partition_rounds,
+                       bench::kBaseSeed, kTrials);
+  report(state, result);
+}
+BENCHMARK(BM_Faults_AllAtOnce)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,532 @@
+#include "analysis/fuzz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstring>
+#include <iterator>
+#include <string_view>
+
+#include "core/network.hpp"
+#include "util/check.hpp"
+
+namespace sssw::analysis {
+
+namespace {
+
+constexpr FuzzOracle kAllOracles[] = {
+    FuzzOracle::kPhaseMonotone,
+    FuzzOracle::kLrlsResolve,
+    FuzzOracle::kConnectivity,
+    FuzzOracle::kEventualRing,
+};
+
+constexpr core::Phase kAllPhases[] = {
+    core::Phase::kDisconnected, core::Phase::kWeaklyConnected,
+    core::Phase::kListConnected, core::Phase::kSortedList,
+    core::Phase::kSortedRing,   core::Phase::kSmallWorld,
+};
+
+}  // namespace
+
+const char* to_string(FuzzOracle oracle) noexcept {
+  switch (oracle) {
+    case FuzzOracle::kPhaseMonotone:
+      return "phase-monotone";
+    case FuzzOracle::kLrlsResolve:
+      return "lrls-resolve";
+    case FuzzOracle::kConnectivity:
+      return "connectivity";
+    case FuzzOracle::kEventualRing:
+      return "eventual-ring";
+  }
+  return "unknown";
+}
+
+std::optional<FuzzOracle> oracle_from_string(const std::string& name) {
+  for (const FuzzOracle oracle : kAllOracles)
+    if (name == to_string(oracle)) return oracle;
+  return std::nullopt;
+}
+
+std::uint64_t round_bound(const FuzzCase& c) {
+  // The in-tree convergence property tests pin 400n + 4000 as a sufficient
+  // budget for every shape × scheduler combination; each round a message is
+  // held stretches the effective round length, and nothing useful can
+  // happen before the partition window closes.
+  std::uint64_t bound = 400 * static_cast<std::uint64_t>(c.n) + 4000;
+  std::uint64_t latency = 1;
+  if (c.faults.delay_probability > 0.0) latency += c.faults.max_delay_rounds;
+  if (c.scheduler == sim::SchedulerKind::kAdversarialOldestLast)
+    latency += c.adversary_delay;
+  bound *= latency;
+  if (c.faults.partition_rounds > 0)
+    bound += c.faults.partition_start + c.faults.partition_rounds;
+  return bound;
+}
+
+FuzzCase sample_case(util::Rng& rng, std::size_t max_n) {
+  SSSW_CHECK_MSG(max_n >= 4, "fuzz cases need at least 4 nodes");
+  // Every continuous dimension is drawn from a coarse grid: the values
+  // below round-trip exactly through the JSON reproducer, so a shrunk case
+  // replays bit-identically from its file.
+  static constexpr double kProbGrid[] = {0.05, 0.1, 0.2, 0.3};
+  static constexpr double kPivotGrid[] = {0.25, 0.5, 0.75};
+  static constexpr double kEpsilonGrid[] = {0.05, 0.1, 0.5};
+
+  FuzzCase c;
+  c.n = 4 + rng.below(max_n - 3);
+  c.shape = topology::kAllShapes[rng.below(std::size(topology::kAllShapes))];
+  c.scheduler = sim::kAllSchedulers[rng.below(std::size(sim::kAllSchedulers))];
+  c.adversary_delay = 1 + static_cast<std::uint32_t>(rng.below(4));
+  c.seed = 1 + rng.below(1u << 30);
+
+  if (rng.bernoulli(0.35)) {
+    c.faults.duplicate_probability = kProbGrid[rng.below(std::size(kProbGrid))];
+  }
+  if (rng.bernoulli(0.35)) {
+    c.faults.delay_probability = kProbGrid[rng.below(std::size(kProbGrid))];
+    c.faults.max_delay_rounds = 1 + static_cast<std::uint32_t>(rng.below(4));
+  }
+  if (rng.bernoulli(0.25)) {
+    c.faults.partition_start = rng.below(64);
+    c.faults.partition_rounds = 1 + static_cast<std::uint32_t>(rng.below(24));
+    c.faults.partition_pivot = kPivotGrid[rng.below(std::size(kPivotGrid))];
+  }
+  if (rng.bernoulli(0.3)) {
+    c.faults.replay_probability = kProbGrid[rng.below(std::size(kProbGrid))];
+    c.faults.replay_history = 1 + rng.below(16);
+  }
+
+  c.protocol.epsilon = kEpsilonGrid[rng.below(std::size(kEpsilonGrid))];
+  c.protocol.probe_interval = 1 + static_cast<std::uint32_t>(rng.below(3));
+  c.protocol.lrl_count = 1 + static_cast<std::uint32_t>(rng.below(2));
+  return c;
+}
+
+namespace {
+
+/// FNV-1a over the full EngineCounters: two runs that agree on this agree
+/// on every event count, which is as strong a trajectory fingerprint as the
+/// byte-identical-JSONL test uses.
+std::uint64_t fold_counters(const sim::EngineCounters& counters) {
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(counters.rounds);
+  mix(counters.actions);
+  mix(counters.deliveries);
+  mix(counters.dropped);
+  mix(counters.lost);
+  mix(counters.faults.duplicated);
+  mix(counters.faults.delayed);
+  mix(counters.faults.replayed);
+  mix(counters.faults.partition_dropped);
+  for (const std::uint64_t sent : counters.sent_by_type) mix(sent);
+  return hash;
+}
+
+core::SmallWorldNetwork build_network(const FuzzCase& c) {
+  util::Rng rng(c.seed);
+  auto ids = core::random_ids(c.n, rng);
+  core::NetworkOptions options;
+  options.protocol = c.protocol;
+  options.scheduler = c.scheduler;
+  options.seed = c.seed;
+  options.faults = c.faults;
+  options.adversary_delay = c.adversary_delay;
+  core::SmallWorldNetwork net(options);
+  net.add_nodes(topology::make_initial_state(c.shape, std::move(ids), rng));
+  return net;
+}
+
+}  // namespace
+
+FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
+  c.faults.validate();
+  core::SmallWorldNetwork net = build_network(c);
+  const sim::Engine& engine = net.engine();
+
+  const bool has_partition = c.faults.partition_rounds > 0;
+  // Phase observations only move monotonically when rounds are the paper's
+  // synchronous rounds and the channel is honest; async interleavings and
+  // injected duplicates/delays can legitimately bounce the detector.
+  const bool check_monotone =
+      c.scheduler == sim::SchedulerKind::kSynchronous && !c.faults.active();
+
+  bool violated = false;
+  FuzzOracle oracle = FuzzOracle::kEventualRing;
+  std::uint64_t violation_round = 0;
+  const auto fail = [&](FuzzOracle which, std::uint64_t round) {
+    violated = true;
+    oracle = which;
+    violation_round = round;
+  };
+
+  const std::uint64_t bound = round_bound(c);
+  core::Phase best_phase = net.phase();
+  for (std::uint64_t round = 1; round <= bound && !violated; ++round) {
+    net.run_rounds(1);
+    const core::Phase phase = net.phase();
+    if (check_monotone && phase < best_phase) fail(FuzzOracle::kPhaseMonotone, round);
+    if (phase > best_phase) best_phase = phase;
+    if (!violated && !core::lrls_resolve(engine))
+      fail(FuzzOracle::kLrlsResolve, round);
+    if (!violated && !has_partition && !core::cc_weakly_connected(engine))
+      fail(FuzzOracle::kConnectivity, round);
+    if (!violated && net.sorted_ring()) break;
+  }
+
+  if (!violated && !net.sorted_ring()) {
+    // With a partition the theorem's precondition (weak connectivity) may
+    // have been destroyed — then non-convergence is the expected outcome,
+    // exactly as with message loss in ablation A4.
+    if (!has_partition || core::cc_weakly_connected(engine))
+      fail(FuzzOracle::kEventualRing, engine.round());
+  }
+
+  if (options.invert) {
+    // The hidden test hook: flip the named oracle's aggregate outcome so
+    // the shrink + reproduce pipeline can be exercised on a healthy
+    // protocol (a genuine violation of a *different* oracle still wins).
+    if (violated && oracle == *options.invert) {
+      violated = false;
+    } else if (!violated) {
+      fail(*options.invert, engine.round());
+    }
+  }
+
+  FuzzVerdict verdict;
+  verdict.ok = !violated;
+  if (violated) {
+    verdict.oracle = oracle;
+    verdict.violation_round = violation_round;
+  }
+  verdict.rounds_run = engine.round();
+  verdict.final_phase = net.phase();
+  verdict.digest = fold_counters(engine.counters());
+  return verdict;
+}
+
+FuzzCase shrink_case(const FuzzCase& failing, const FuzzOptions& options,
+                     std::size_t* steps_out) {
+  if (steps_out != nullptr) *steps_out = 0;
+  const FuzzVerdict first = run_case(failing, options);
+  if (first.ok) return failing;  // nothing to shrink
+  const FuzzOracle target = first.oracle;
+
+  // Candidate simplifications, biggest first.  Each either returns a
+  // strictly simpler case or leaves it unchanged (then it is skipped), so
+  // the greedy loop terminates: n and the window only halve, dimensions
+  // only drop.
+  using Transform = void (*)(FuzzCase&);
+  static constexpr Transform kTransforms[] = {
+      [](FuzzCase& c) { if (c.n > 4) c.n = std::max<std::size_t>(4, c.n / 2); },
+      [](FuzzCase& c) { c.scheduler = sim::SchedulerKind::kSynchronous; },
+      [](FuzzCase& c) { c.faults.duplicate_probability = 0.0; },
+      [](FuzzCase& c) {
+        c.faults.delay_probability = 0.0;
+        c.faults.max_delay_rounds = 0;
+      },
+      [](FuzzCase& c) {
+        c.faults.replay_probability = 0.0;
+        c.faults.replay_history = 0;
+      },
+      [](FuzzCase& c) {  // drop the partition entirely...
+        c.faults.partition_start = 0;
+        c.faults.partition_rounds = 0;
+        c.faults.partition_pivot = 0.5;
+      },
+      [](FuzzCase& c) { c.faults.partition_rounds /= 2; },  // ...or bisect it
+      [](FuzzCase& c) { c.faults.partition_start /= 2; },
+      [](FuzzCase& c) { c.protocol = core::Config{}; },
+      [](FuzzCase& c) { c.adversary_delay = 1; },
+  };
+
+  FuzzCase current = failing;
+  for (bool progressed = true; progressed;) {
+    progressed = false;
+    for (const Transform transform : kTransforms) {
+      FuzzCase candidate = current;
+      transform(candidate);
+      if (candidate == current) continue;
+      const FuzzVerdict verdict = run_case(candidate, options);
+      if (verdict.ok || verdict.oracle != target) continue;
+      current = candidate;
+      if (steps_out != nullptr) ++*steps_out;
+      progressed = true;
+      break;  // restart from the biggest simplification
+    }
+  }
+  return current;
+}
+
+// --- JSON ------------------------------------------------------------------
+//
+// One flat object per reproducer, every field explicit, doubles in
+// shortest-round-trip form — the same philosophy as the obs JSONL schema:
+// readable anywhere, parsed back bit-identically by the strict scanner.
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+template <typename Int>
+void append_number(std::string& out, Int value) {
+  char buffer[24];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), static_cast<std::uint64_t>(value));
+  out.append(buffer, result.ptr);
+}
+
+std::optional<topology::InitialShape> shape_from_string(const std::string& name) {
+  for (const topology::InitialShape shape : topology::kAllShapes)
+    if (name == topology::to_string(shape)) return shape;
+  return std::nullopt;
+}
+
+std::optional<sim::SchedulerKind> scheduler_from_string(const std::string& name) {
+  for (const sim::SchedulerKind kind : sim::kAllSchedulers)
+    if (name == sim::to_string(kind)) return kind;
+  return std::nullopt;
+}
+
+std::optional<core::Phase> phase_from_string(const std::string& name) {
+  for (const core::Phase phase : kAllPhases)
+    if (name == core::to_string(phase)) return phase;
+  return std::nullopt;
+}
+
+/// Strict single-object scanner: known keys only, no escapes, no nesting.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool expect(char ch) {
+    skip_ws();
+    if (p_ == end_ || *p_ != ch) return false;
+    ++p_;
+    return true;
+  }
+
+  bool at(char ch) {
+    skip_ws();
+    return p_ != end_ && *p_ == ch;
+  }
+
+  bool string(std::string& out) {
+    skip_ws();
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    const char* start = p_;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') return false;  // reproducers never need escapes
+      ++p_;
+    }
+    if (p_ == end_) return false;
+    out.assign(start, p_);
+    ++p_;
+    return true;
+  }
+
+  /// A JSON scalar: number, true, or false, captured as raw text.
+  bool scalar(std::string& out) {
+    skip_ws();
+    const char* start = p_;
+    while (p_ != end_ && (std::strchr("+-.0123456789eE", *p_) != nullptr ||
+                          (*p_ >= 'a' && *p_ <= 'z')))
+      ++p_;
+    if (p_ == start) return false;
+    out.assign(start, p_);
+    return true;
+  }
+
+  bool done() {
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      ++p_;
+  }
+  const char* p_;
+  const char* end_;
+};
+
+template <typename Int>
+bool parse_int(const std::string& text, Int& out) {
+  std::uint64_t value = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) return false;
+  out = static_cast<Int>(value);
+  return value == static_cast<std::uint64_t>(out);  // reject narrowing
+}
+
+bool parse_double(const std::string& text, double& out) {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
+
+bool parse_bool(const std::string& text, bool& out) {
+  if (text == "true") out = true;
+  else if (text == "false") out = false;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::string to_json(const FuzzRepro& repro) {
+  std::string out = "{";
+  const auto key = [&out](const char* name) {
+    if (out.size() > 1) out += ",";
+    out += "\"";
+    out += name;
+    out += "\":";
+  };
+  const auto str = [&out, &key](const char* name, const char* value) {
+    key(name);
+    out += "\"";
+    out += value;
+    out += "\"";
+  };
+  const auto num = [&out, &key](const char* name, auto value) {
+    key(name);
+    append_number(out, value);
+  };
+  const auto boolean = [&out, &key](const char* name, bool value) {
+    key(name);
+    out += value ? "true" : "false";
+  };
+
+  const FuzzCase& c = repro.c;
+  num("n", c.n);
+  str("shape", topology::to_string(c.shape));
+  str("scheduler", sim::to_string(c.scheduler));
+  num("seed", c.seed);
+  num("duplicate_probability", c.faults.duplicate_probability);
+  num("delay_probability", c.faults.delay_probability);
+  num("max_delay_rounds", c.faults.max_delay_rounds);
+  num("partition_start", c.faults.partition_start);
+  num("partition_rounds", c.faults.partition_rounds);
+  num("partition_pivot", c.faults.partition_pivot);
+  num("replay_probability", c.faults.replay_probability);
+  num("replay_history", c.faults.replay_history);
+  num("adversary_delay", c.adversary_delay);
+  num("epsilon", c.protocol.epsilon);
+  num("probe_interval", c.protocol.probe_interval);
+  boolean("lrl_shortcut", c.protocol.lrl_shortcut);
+  boolean("probing_enabled", c.protocol.probing_enabled);
+  boolean("move_and_forget_enabled", c.protocol.move_and_forget_enabled);
+  num("lrl_count", c.protocol.lrl_count);
+  num("failure_timeout", c.protocol.failure_timeout);
+  if (repro.options.invert) str("invert", to_string(*repro.options.invert));
+  boolean("expect_ok", repro.expected.ok);
+  if (!repro.expected.ok) {
+    str("expect_oracle", to_string(repro.expected.oracle));
+    num("expect_violation_round", repro.expected.violation_round);
+  }
+  num("expect_rounds_run", repro.expected.rounds_run);
+  str("expect_phase", core::to_string(repro.expected.final_phase));
+  num("expect_digest", repro.expected.digest);
+  out += "}";
+  return out;
+}
+
+std::optional<FuzzRepro> parse_repro(const std::string& json) {
+  Scanner scan(json);
+  if (!scan.expect('{')) return std::nullopt;
+
+  FuzzRepro repro;
+  bool saw_ok = false;
+  bool first = true;
+  while (!scan.at('}')) {
+    if (!first && !scan.expect(',')) return std::nullopt;
+    first = false;
+    std::string k, v;
+    if (!scan.string(k) || !scan.expect(':')) return std::nullopt;
+
+    FuzzCase& c = repro.c;
+    bool parsed = false;
+    if (k == "shape") {
+      if (!scan.string(v)) return std::nullopt;
+      const auto shape = shape_from_string(v);
+      if (!shape) return std::nullopt;
+      c.shape = *shape;
+      parsed = true;
+    } else if (k == "scheduler") {
+      if (!scan.string(v)) return std::nullopt;
+      const auto kind = scheduler_from_string(v);
+      if (!kind) return std::nullopt;
+      c.scheduler = *kind;
+      parsed = true;
+    } else if (k == "invert") {
+      if (!scan.string(v)) return std::nullopt;
+      const auto oracle = oracle_from_string(v);
+      if (!oracle) return std::nullopt;
+      repro.options.invert = *oracle;
+      parsed = true;
+    } else if (k == "expect_oracle") {
+      if (!scan.string(v)) return std::nullopt;
+      const auto oracle = oracle_from_string(v);
+      if (!oracle) return std::nullopt;
+      repro.expected.oracle = *oracle;
+      parsed = true;
+    } else if (k == "expect_phase") {
+      if (!scan.string(v)) return std::nullopt;
+      const auto phase = phase_from_string(v);
+      if (!phase) return std::nullopt;
+      repro.expected.final_phase = *phase;
+      parsed = true;
+    }
+    if (parsed) continue;
+
+    if (!scan.scalar(v)) return std::nullopt;
+    bool known = true;
+    bool ok = true;
+    if (k == "n") ok = parse_int(v, c.n);
+    else if (k == "seed") ok = parse_int(v, c.seed);
+    else if (k == "duplicate_probability") ok = parse_double(v, c.faults.duplicate_probability);
+    else if (k == "delay_probability") ok = parse_double(v, c.faults.delay_probability);
+    else if (k == "max_delay_rounds") ok = parse_int(v, c.faults.max_delay_rounds);
+    else if (k == "partition_start") ok = parse_int(v, c.faults.partition_start);
+    else if (k == "partition_rounds") ok = parse_int(v, c.faults.partition_rounds);
+    else if (k == "partition_pivot") ok = parse_double(v, c.faults.partition_pivot);
+    else if (k == "replay_probability") ok = parse_double(v, c.faults.replay_probability);
+    else if (k == "replay_history") ok = parse_int(v, c.faults.replay_history);
+    else if (k == "adversary_delay") ok = parse_int(v, c.adversary_delay);
+    else if (k == "epsilon") ok = parse_double(v, c.protocol.epsilon);
+    else if (k == "probe_interval") ok = parse_int(v, c.protocol.probe_interval);
+    else if (k == "lrl_shortcut") ok = parse_bool(v, c.protocol.lrl_shortcut);
+    else if (k == "probing_enabled") ok = parse_bool(v, c.protocol.probing_enabled);
+    else if (k == "move_and_forget_enabled")
+      ok = parse_bool(v, c.protocol.move_and_forget_enabled);
+    else if (k == "lrl_count") ok = parse_int(v, c.protocol.lrl_count);
+    else if (k == "failure_timeout") ok = parse_int(v, c.protocol.failure_timeout);
+    else if (k == "expect_ok") { ok = parse_bool(v, repro.expected.ok); saw_ok = ok; }
+    else if (k == "expect_violation_round") ok = parse_int(v, repro.expected.violation_round);
+    else if (k == "expect_rounds_run") ok = parse_int(v, repro.expected.rounds_run);
+    else if (k == "expect_digest") ok = parse_int(v, repro.expected.digest);
+    else known = false;
+    if (!known || !ok) return std::nullopt;  // strict: no unknown keys
+  }
+  if (!scan.expect('}') || !scan.done()) return std::nullopt;
+  if (!saw_ok || repro.c.n < 4) return std::nullopt;
+  return repro;
+}
+
+std::string replay_cli(const std::string& path) {
+  return "sssw_fuzz --replay " + path;
+}
+
+}  // namespace sssw::analysis

@@ -1,0 +1,129 @@
+// fuzz.hpp — deterministic convergence fuzzer with shrinking reproducers.
+//
+// The paper claims convergence to the sorted ring from *any* weakly
+// connected initial digraph under *any* fair schedule (Theorems 4.3–4.24).
+// The fuzzer hunts for counterexamples: it samples (n, InitialShape,
+// scheduler, FaultPlan, protocol config, seed) tuples, runs each to a
+// theorem-derived round bound, and checks the oracles below every round.
+// On a violation it *shrinks* the case (halve n, drop fault dimensions one
+// at a time, bisect the fault window, simplify the schedule) while the same
+// oracle keeps failing, then emits a minimal one-line JSON reproducer that
+// replays byte-identically — same verdict, same violation round, same
+// counter digest.
+//
+// Everything is a pure function of the FuzzCase: two runs of the same case
+// agree on every field of the verdict, which is what makes a committed
+// corpus (tests/corpus/*.json) a meaningful regression suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/invariants.hpp"
+#include "sim/faults.hpp"
+#include "sim/scheduler.hpp"
+#include "topology/initial_states.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::analysis {
+
+/// The correctness properties the fuzzer checks, in checking order.
+enum class FuzzOracle : std::uint8_t {
+  /// core::detect_phase never regresses across rounds.  Only sound for the
+  /// synchronous scheduler with an inactive fault plan (async interleavings
+  /// and fault replay can legitimately bounce the observed phase).
+  kPhaseMonotone,
+  /// Every long-range link points at a live node (no churn in the fuzzer,
+  /// so this must hold unconditionally).
+  kLrlsResolve,
+  /// CC weak connectivity is preserved round to round (Lemma 4.10).
+  /// Skipped when a partition is configured: a crossing drop can destroy
+  /// the only reference to a subtree, exactly like message loss in A4.
+  kConnectivity,
+  /// The sorted ring forms within the round bound.  With a partition, only
+  /// required if CC is still weakly connected after the window (the
+  /// theorem's precondition survived the adversary).
+  kEventualRing,
+};
+
+const char* to_string(FuzzOracle oracle) noexcept;
+std::optional<FuzzOracle> oracle_from_string(const std::string& name);
+
+/// One fuzz trial, fully describing a deterministic run.
+struct FuzzCase {
+  std::size_t n = 8;
+  topology::InitialShape shape = topology::InitialShape::kRandomChain;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kSynchronous;
+  sim::FaultPlan faults{};
+  std::uint32_t adversary_delay = 3;
+  core::Config protocol{};
+  std::uint64_t seed = 1;
+
+  bool operator==(const FuzzCase&) const = default;
+};
+
+/// The theorem-derived budget: the empirical 400n + 4000 bound the in-tree
+/// convergence property tests pin, scaled by the latency the fault plan and
+/// scheduler add (each held round stretches the effective round length) and
+/// shifted past the partition window.
+std::uint64_t round_bound(const FuzzCase& c);
+
+/// What one run concluded.  Replaying the same case yields the same verdict
+/// field-for-field; `digest` folds the full EngineCounters (FNV-1a), so it
+/// pins the entire trajectory, not just the outcome.
+struct FuzzVerdict {
+  bool ok = true;
+  FuzzOracle oracle = FuzzOracle::kEventualRing;  ///< meaningful iff !ok
+  std::uint64_t violation_round = 0;              ///< meaningful iff !ok
+  std::uint64_t rounds_run = 0;
+  core::Phase final_phase = core::Phase::kDisconnected;
+  std::uint64_t digest = 0;
+
+  bool operator==(const FuzzVerdict&) const = default;
+};
+
+/// Run-time knobs.  `invert` is the hidden test hook: the named oracle's
+/// aggregate pass/fail is flipped, so a healthy protocol yields a
+/// deterministic "violation" with which the shrink + reproduce pipeline can
+/// be exercised end to end (ISSUE acceptance: a forced violation must
+/// shrink and replay byte-identically).
+struct FuzzOptions {
+  std::optional<FuzzOracle> invert{};
+};
+
+/// Samples one case from the master stream.  Every dimension is drawn from
+/// a coarse grid so the JSON reproducer round-trips doubles exactly.
+FuzzCase sample_case(util::Rng& rng, std::size_t max_n);
+
+/// Runs one case to its round bound (stopping early once the ring forms and
+/// every oracle has had its say) and returns the verdict.
+FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options = {});
+
+/// Greedy shrink: repeatedly applies the first simplification (halve n,
+/// synchronous schedule, drop duplication/delay/replay, bisect then drop
+/// the partition window, default protocol) that keeps the *same oracle*
+/// failing, until none applies.  Returns the minimal failing case;
+/// `*steps_out` (optional) receives the number of accepted simplifications.
+FuzzCase shrink_case(const FuzzCase& failing, const FuzzOptions& options = {},
+                     std::size_t* steps_out = nullptr);
+
+/// A reproducer: the case, the expected verdict, and the options that
+/// produced it — everything needed to replay and re-check.
+struct FuzzRepro {
+  FuzzCase c{};
+  FuzzVerdict expected{};
+  FuzzOptions options{};
+};
+
+/// One-line JSON for a reproducer file; parse_repro inverts it exactly
+/// (strict scanner: unknown keys, malformed numbers, or missing fields
+/// yield nullopt, never a half-filled case).
+std::string to_json(const FuzzRepro& repro);
+std::optional<FuzzRepro> parse_repro(const std::string& json);
+
+/// The exact command that replays a written reproducer.
+std::string replay_cli(const std::string& path);
+
+}  // namespace sssw::analysis

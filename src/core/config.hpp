@@ -49,6 +49,8 @@ struct Config {
   /// Choose T comfortably above the message round-trip (≥ 8) so live links
   /// are never dropped in the stable state.
   std::uint32_t failure_timeout = 0;
+
+  bool operator==(const Config&) const = default;
 };
 
 }  // namespace sssw::core

@@ -18,7 +18,9 @@ SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
           .seed = options.seed,
           .async_actions_per_round = options.async_actions_per_round,
           .delivery_probability = options.delivery_probability,
-          .message_loss = options.message_loss}) {}
+          .message_loss = options.message_loss,
+          .faults = options.faults,
+          .adversary_delay = options.adversary_delay}) {}
 
 void SmallWorldNetwork::add_node(const NodeInit& init) {
   auto node = std::make_unique<SmallWorldNode>(init, options_.protocol);

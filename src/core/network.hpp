@@ -31,6 +31,12 @@ struct NetworkOptions {
   /// kRandomAsync only: atomic actions per "round"; 0 = #processes +
   /// #pending messages (see sim::EngineConfig::async_actions_per_round).
   std::size_t async_actions_per_round = 0;
+  /// Fault-injection adversary (duplication, extra delay, partitions, stale
+  /// replay); inactive by default.  See sim/faults.hpp and doc/FAULTS.md.
+  sim::FaultPlan faults{};
+  /// kAdversarialOldestLast only: rounds each message is held before its
+  /// channel sees it (see sim::EngineConfig::adversary_delay).
+  std::uint32_t adversary_delay = 3;
 };
 
 class SmallWorldNetwork {

@@ -16,11 +16,15 @@ const char* to_string(SchedulerKind kind) noexcept {
       return "adversarial-lifo";
     case SchedulerKind::kDelayedRandom:
       return "delayed-random";
+    case SchedulerKind::kAdversarialOldestLast:
+      return "adversarial-oldest-last";
   }
   return "unknown";
 }
 
-void Context::send(Id to, const Message& message) { engine_.send(to, message); }
+void Context::send(Id to, const Message& message) {
+  engine_.send(self_, to, message);
+}
 util::Rng& Context::rng() { return engine_.rng_; }
 std::uint64_t Context::round() const noexcept { return engine_.counters_.rounds; }
 
@@ -28,6 +32,20 @@ Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {
   SSSW_CHECK_MSG(
       config_.delivery_probability > 0.0 && config_.delivery_probability <= 1.0,
       "EngineConfig::delivery_probability must lie in (0, 1]");
+  SSSW_CHECK_MSG(config_.message_loss >= 0.0 && config_.message_loss < 1.0,
+                 "EngineConfig::message_loss must lie in [0, 1)");
+  config_.faults.validate();
+  const bool oldest_last =
+      config_.scheduler == SchedulerKind::kAdversarialOldestLast;
+  if (oldest_last)
+    SSSW_CHECK_MSG(config_.adversary_delay >= 1,
+                   "EngineConfig::adversary_delay must be >= 1");
+  // The injector only exists when it can act, so a default config keeps the
+  // send path (and the RNG stream) bit-identical to earlier revisions.
+  if (config_.faults.active() || oldest_last) {
+    faults_ = std::make_unique<FaultInjector>(
+        config_.faults, oldest_last ? config_.adversary_delay : 0);
+  }
 }
 
 /// Recomputes every live slot's rank and rebuilds the pending-message
@@ -91,6 +109,14 @@ bool Engine::remove_process(Id id, bool purge_references) {
       counters_.dropped += purged;
       if (metrics_.dropped) metrics_.dropped->add(purged);
     }
+    if (faults_) {
+      // Messages parked in the hold queue are in flight too, and the replay
+      // history must forget the departed node or a later replay would
+      // resurrect a reference that fail-stop already erased.
+      const std::size_t purged = faults_->purge_references(id);
+      counters_.dropped += purged;
+      if (metrics_.dropped) metrics_.dropped->add(purged);
+    }
   }
   rebuild_schedule_index();
   return true;
@@ -117,7 +143,22 @@ void Engine::for_each(const std::function<void(const Process&)>& fn) const {
   for (const auto& [id, slot] : index_) fn(*slots_[slot].process);
 }
 
-void Engine::send(Id to, const Message& message) {
+/// Places `message` into the channel of `to`, or counts a drop when the
+/// target departed or never existed.
+void Engine::enqueue_or_drop(Id to, const Message& message) {
+  const auto it = index_.find(to);
+  if (it == index_.end()) {
+    ++counters_.dropped;
+    if (metrics_.dropped) metrics_.dropped->add();
+    return;
+  }
+  Slot& slot = slots_[it->second];
+  slot.channel.push(message);
+  pending_by_rank_.add(slot.rank, 1);
+  ++pending_total_;
+}
+
+void Engine::send(Id from, Id to, const Message& message) {
   SSSW_DCHECK(message.type < kMaxMessageTypes);
   ++counters_.sent_by_type[message.type];
   if (metrics_.sent) metrics_.sent->add();
@@ -127,16 +168,37 @@ void Engine::send(Id to, const Message& message) {
     if (metrics_.lost) metrics_.lost->add();
     return;
   }
-  const auto it = index_.find(to);
-  if (it == index_.end()) {
-    ++counters_.dropped;  // target departed or never existed
-    if (metrics_.dropped) metrics_.dropped->add();
+  if (!faults_) {
+    enqueue_or_drop(to, message);
     return;
   }
-  Slot& slot = slots_[it->second];
-  slot.channel.push(message);
-  pending_by_rank_.add(slot.rank, 1);
-  ++pending_total_;
+  // The injector decides the fate of this send; the engine keeps all the
+  // channel and counter bookkeeping.  Duplicates and replays are channel
+  // artefacts, not protocol sends: they skip the sent counter and the send
+  // hooks, so a trace shows what the protocol did, not what the adversary
+  // fabricated.
+  const FaultInjector::SendDecision decision = faults_->on_send(
+      from, to, message, counters_.rounds + 1, rng_);
+  if (decision.duplicated) {
+    ++counters_.faults.duplicated;
+    if (metrics_.faults_duplicated) metrics_.faults_duplicated->add();
+  }
+  if (decision.held > 0) {
+    counters_.faults.delayed += decision.held;
+    if (metrics_.faults_delayed) metrics_.faults_delayed->add(decision.held);
+  }
+  if (decision.partition_dropped) {
+    ++counters_.faults.partition_dropped;
+    if (metrics_.faults_partition_dropped)
+      metrics_.faults_partition_dropped->add();
+  }
+  if (decision.deliver_now) enqueue_or_drop(to, message);
+  if (decision.duplicate_now) enqueue_or_drop(to, message);
+  if (decision.has_replay) {
+    ++counters_.faults.replayed;
+    if (metrics_.faults_replayed) metrics_.faults_replayed->add();
+    enqueue_or_drop(decision.replay_to, decision.replay_message);
+  }
 }
 
 bool Engine::inject(Id to, const Message& message) {
@@ -155,7 +217,7 @@ void Engine::deliver(Slot& slot, const Message& message) {
   if (metrics_.delivered) metrics_.delivered->add();
   if (metrics_.actions) metrics_.actions->add();
   for (const auto& [id, hook] : delivery_hooks_) hook(slot.process->id(), message);
-  Context ctx(*this);
+  Context ctx(*this, slot.process->id());
   slot.process->on_message(ctx, message);
 }
 
@@ -206,7 +268,7 @@ void Engine::run_synchronous_round(ReceiptOrder order, bool shuffle_nodes) {
     if (!slot.process) continue;
     ++counters_.actions;
     if (metrics_.actions) metrics_.actions->add();
-    Context ctx(*this);
+    Context ctx(*this, slot.process->id());
     slot.process->on_regular(ctx);
   }
   finish_round();
@@ -225,7 +287,7 @@ void Engine::run_async_round() {
       Slot& slot = slots_[order_[pick]];
       ++counters_.actions;
       if (metrics_.actions) metrics_.actions->add();
-      Context ctx(*this);
+      Context ctx(*this, slot.process->id());
       slot.process->on_regular(ctx);
     } else {
       pick -= process_count();
@@ -244,7 +306,19 @@ void Engine::run_async_round() {
   finish_round();
 }
 
+/// Moves every held message whose delay has elapsed back into its channel,
+/// before the round snapshots channel contents — a message held `extra`
+/// rounds is delivered exactly `extra` rounds later than it would have been.
+void Engine::release_due_messages() {
+  if (!faults_) return;
+  faults_->collect_due(counters_.rounds, released_);
+  for (const FaultInjector::Held& held : released_)
+    enqueue_or_drop(held.to, held.message);
+  released_.clear();
+}
+
 void Engine::run_round() {
+  release_due_messages();
   switch (config_.scheduler) {
     case SchedulerKind::kSynchronous:
       run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
@@ -257,6 +331,9 @@ void Engine::run_round() {
       break;
     case SchedulerKind::kDelayedRandom:
       run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
+      break;
+    case SchedulerKind::kAdversarialOldestLast:
+      run_synchronous_round(ReceiptOrder::kLifo, /*shuffle_nodes=*/false);
       break;
   }
 }
@@ -295,6 +372,10 @@ void Engine::for_each_pending(
   for (const auto& [id, slot_index] : index_)
     for (const Message& message : slots_[slot_index].channel.pending())
       fn(id, message);
+  // Held messages are channel contents that have not reached their channel
+  // yet; hiding them would make connectivity views (Def. 4.2) lie about
+  // in-flight references.
+  if (faults_) faults_->for_each_held(fn);
 }
 
 void Engine::attach_metrics(obs::Registry& registry) {
@@ -304,6 +385,11 @@ void Engine::attach_metrics(obs::Registry& registry) {
   metrics_.delivered = &registry.counter("engine.messages.delivered");
   metrics_.dropped = &registry.counter("engine.messages.dropped");
   metrics_.lost = &registry.counter("engine.messages.lost");
+  metrics_.faults_duplicated = &registry.counter("faults.messages.duplicated");
+  metrics_.faults_delayed = &registry.counter("faults.messages.delayed");
+  metrics_.faults_replayed = &registry.counter("faults.messages.replayed");
+  metrics_.faults_partition_dropped =
+      &registry.counter("faults.messages.partition-dropped");
   metrics_.channel_depth = &registry.gauge("engine.channel.depth");
   metrics_.processes = &registry.gauge("engine.processes");
 }

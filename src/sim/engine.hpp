@@ -15,6 +15,7 @@
 
 #include "obs/registry.hpp"
 #include "sim/channel.hpp"
+#include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
 #include "util/fenwick.hpp"
@@ -40,8 +41,10 @@ class Context {
 
  private:
   friend class Engine;
-  explicit Context(Engine& engine) : engine_(engine) {}
+  Context(Engine& engine, Id self) : engine_(engine), self_(self) {}
   Engine& engine_;
+  Id self_;  ///< the acting process (the fault layer's partition filter
+             ///< needs the sender, which a Message does not carry)
 };
 
 /// A protocol node.  Actions are atomic: the engine never interleaves two
@@ -68,8 +71,17 @@ struct EngineConfig {
   /// Each sent message is independently lost with this probability.  The
   /// paper's model assumes lossless channels; a self-stabilizing protocol
   /// that re-announces its state every round tolerates loss anyway — this
-  /// knob lets the tests and benches demonstrate that.
+  /// knob lets the tests and benches demonstrate that.  Must lie in [0, 1);
+  /// validated at engine construction.
   double message_loss = 0.0;
+  /// Fault-injection adversary on the send path (duplication, bounded extra
+  /// delay, transient partitions, stale replay — see sim/faults.hpp and
+  /// doc/FAULTS.md).  A default-constructed plan is inactive and leaves the
+  /// trajectory bit-identical to a fault-free run.
+  FaultPlan faults{};
+  /// In kAdversarialOldestLast, the fairness deadline: every message is
+  /// held this many extra rounds before its channel sees it.  Must be >= 1.
+  std::uint32_t adversary_delay = 3;
 };
 
 struct EngineCounters {
@@ -78,6 +90,7 @@ struct EngineCounters {
   std::uint64_t deliveries = 0;  ///< receive actions executed
   std::uint64_t dropped = 0;     ///< sends to departed/unknown identifiers
   std::uint64_t lost = 0;        ///< sends eaten by the loss model
+  FaultCounters faults;          ///< injected-fault events (sim/faults.hpp)
   std::array<std::uint64_t, kMaxMessageTypes> sent_by_type{};
 
   std::uint64_t total_sent() const noexcept {
@@ -136,12 +149,17 @@ class Engine {
   /// `max_rounds` elapse; returns true iff the predicate held.
   bool run_until(const std::function<bool()>& predicate, std::size_t max_rounds);
 
-  /// Total number of messages currently in channels.  O(1): the count is
-  /// maintained incrementally by send/inject/delivery/purge, not recomputed.
-  std::size_t pending_messages() const noexcept { return pending_total_; }
+  /// Total number of messages currently in flight: channel contents plus
+  /// messages parked in the fault layer's hold queue (a held message is
+  /// still "in the channel" as far as Def. 4.2 views are concerned).  O(1):
+  /// both counts are maintained incrementally, not recomputed.
+  std::size_t pending_messages() const noexcept {
+    return pending_total_ + (faults_ ? faults_->held_count() : 0);
+  }
 
   /// Applies `fn` to every pending message with its destination identifier
-  /// (the channel's owner), in ascending owner order.
+  /// (the channel's owner), in ascending owner order; messages held by the
+  /// fault layer are visited after the channel contents, in hold order.
   void for_each_pending(const std::function<void(Id to, const Message&)>& fn) const;
 
   const EngineCounters& counters() const noexcept { return counters_; }
@@ -205,11 +223,17 @@ class Engine {
     obs::Counter* delivered = nullptr;
     obs::Counter* dropped = nullptr;
     obs::Counter* lost = nullptr;
+    obs::Counter* faults_duplicated = nullptr;
+    obs::Counter* faults_delayed = nullptr;
+    obs::Counter* faults_replayed = nullptr;
+    obs::Counter* faults_partition_dropped = nullptr;
     obs::Gauge* channel_depth = nullptr;
     obs::Gauge* processes = nullptr;
   };
 
-  void send(Id to, const Message& message);
+  void send(Id from, Id to, const Message& message);
+  void enqueue_or_drop(Id to, const Message& message);
+  void release_due_messages();
   void deliver(Slot& slot, const Message& message);
   void run_synchronous_round(ReceiptOrder order, bool shuffle_nodes);
   void run_async_round();
@@ -219,6 +243,11 @@ class Engine {
 
   EngineConfig config_;
   util::Rng rng_;
+  // Present only when the fault plan is active or the scheduler needs the
+  // hold queue (kAdversarialOldestLast); null means the send path is the
+  // exact fault-free code of earlier revisions.
+  std::unique_ptr<FaultInjector> faults_;
+  std::vector<FaultInjector::Held> released_;  // collect_due scratch, reused
   // Ordered by identifier: gives deterministic iteration and O(log n) lookup.
   std::map<Id, std::size_t> index_;
   std::vector<Slot> slots_;        // dense storage; holes after removal

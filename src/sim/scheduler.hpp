@@ -15,6 +15,11 @@
 //  * kDelayedRandom — rounds, but each pending message is delivered this
 //    round only with probability 1/2 (slow, unordered channels).  Fair
 //    receipt still holds with probability 1.
+//  * kAdversarialOldestLast — the starvation-bounded adversary: every
+//    message is held to its fairness deadline (EngineConfig::adversary_delay
+//    extra rounds) before it becomes deliverable, then channels drain
+//    newest-first in a fixed node order.  The most hostile schedule that
+//    still meets a per-message delivery deadline, i.e. still weakly fair.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,13 @@ enum class SchedulerKind : std::uint8_t {
   kRandomAsync,
   kAdversarialLifo,
   kDelayedRandom,
+  kAdversarialOldestLast,
+};
+
+inline constexpr SchedulerKind kAllSchedulers[] = {
+    SchedulerKind::kSynchronous,    SchedulerKind::kRandomAsync,
+    SchedulerKind::kAdversarialLifo, SchedulerKind::kDelayedRandom,
+    SchedulerKind::kAdversarialOldestLast,
 };
 
 const char* to_string(SchedulerKind kind) noexcept;

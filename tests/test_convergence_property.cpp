@@ -4,8 +4,10 @@
 // parameterized over initial shape × scheduler × size × seed.
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/invariants.hpp"
 #include "core/network.hpp"
@@ -84,6 +86,7 @@ std::vector<Case> make_cases() {
     cases.push_back({shape, sim::SchedulerKind::kRandomAsync, 12, 3});
     cases.push_back({shape, sim::SchedulerKind::kAdversarialLifo, 12, 4});
     cases.push_back({shape, sim::SchedulerKind::kDelayedRandom, 12, 5});
+    cases.push_back({shape, sim::SchedulerKind::kAdversarialOldestLast, 12, 6});
   }
   return cases;
 }
@@ -102,6 +105,8 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
         return "lifo";
       case sim::SchedulerKind::kDelayedRandom:
         return "delayed";
+      case sim::SchedulerKind::kAdversarialOldestLast:
+        return "oldest_last";
     }
     return "x";
   }();
@@ -111,6 +116,50 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllShapes, ConvergenceProperty,
                          ::testing::ValuesIn(make_cases()), case_name);
+
+// --- phase monotonicity ----------------------------------------------------
+
+class PhaseMonotonicity : public ::testing::TestWithParam<InitialShape> {};
+
+TEST_P(PhaseMonotonicity, DetectPhaseNeverRegresses) {
+  // The §IV phase structure is a ladder: under the synchronous scheduler
+  // with no churn and no faults, once a phase target holds it keeps holding
+  // (Thm 4.3's LCC invariant, closure of the sorted list/ring, and
+  // forget_count being monotone).  This is the fuzzer's kPhaseMonotone
+  // oracle, kept honest in-tree over every initial shape.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng rng(seed);
+    const std::size_t n = 16;
+    NetworkOptions options;
+    options.seed = seed;
+    SmallWorldNetwork net(options);
+    net.add_nodes(
+        topology::make_initial_state(GetParam(), random_ids(n, rng), rng));
+    Phase best = net.phase();
+    const std::size_t budget = 400 * n + 4000;
+    for (std::size_t round = 0; round < budget; ++round) {
+      net.run_rounds(1);
+      const Phase phase = net.phase();
+      ASSERT_GE(phase, best) << "phase regressed from " << to_string(best)
+                             << " to " << to_string(phase) << " at round "
+                             << round << " (seed " << seed << ")";
+      best = phase;
+      if (phase == Phase::kSmallWorld) break;
+    }
+    EXPECT_EQ(best, Phase::kSmallWorld) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, PhaseMonotonicity,
+                         ::testing::ValuesIn(std::vector<InitialShape>(
+                             std::begin(topology::kAllShapes),
+                             std::end(topology::kAllShapes))),
+                         [](const ::testing::TestParamInfo<InitialShape>& info) {
+                           std::string name = topology::to_string(info.param);
+                           for (char& ch : name)
+                             if (ch == '-') ch = '_';
+                           return name;
+                         });
 
 // --- fault-injection: corrupt a stabilized network and watch it re-heal ----
 

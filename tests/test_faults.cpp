@@ -1,0 +1,204 @@
+// Tests for sim/faults: each fault dimension in isolation, the conservation
+// laws they obey, the starvation-bounded adversarial scheduler, and the
+// fail-stop purge of the hold queue and replay history.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace sssw::sim {
+namespace {
+
+/// Counts deliveries; sends one message to `to` per regular action when a
+/// target is given.
+class Node final : public Process {
+ public:
+  explicit Node(Id id, Id to = kNegInf) : id_(id), to_(to) {}
+  Id id() const noexcept override { return id_; }
+  void on_message(Context&, const Message& message) override {
+    received.push_back(message);
+  }
+  void on_regular(Context& ctx) override {
+    if (is_node_id(to_)) ctx.send(to_, Message{2, id_});
+  }
+  std::vector<Message> received;
+
+ private:
+  Id id_;
+  Id to_;
+};
+
+const Node* node_at(const Engine& engine, Id id) {
+  return dynamic_cast<const Node*>(engine.find(id));
+}
+
+TEST(Faults, PlanValidation) {
+  FaultPlan plan;
+  plan.duplicate_probability = 1.0;
+  EXPECT_DEATH(plan.validate(), "duplicate_probability");
+  plan = {};
+  plan.replay_probability = 0.1;  // no history
+  EXPECT_DEATH(plan.validate(), "replay_history");
+  plan = {};
+  plan.delay_probability = 0.1;  // no bound
+  EXPECT_DEATH(plan.validate(), "max_delay_rounds");
+  FaultPlan ok;
+  ok.duplicate_probability = 0.5;
+  ok.validate();  // must not die
+  EXPECT_TRUE(ok.active());
+  EXPECT_FALSE(FaultPlan{}.active());
+}
+
+TEST(Faults, DuplicationDeliversExtraCopies) {
+  FaultPlan plan;
+  plan.duplicate_probability = 0.9;
+  Engine engine(EngineConfig{.seed = 3, .faults = plan});
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));
+  engine.add_process(std::make_unique<Node>(0.9));
+  engine.run_rounds(50);
+  const auto& counters = engine.counters();
+  EXPECT_GT(counters.faults.duplicated, 20u);
+  // Every duplicate is one extra delivery: delivered + in-flight must
+  // exceed protocol sends by exactly the duplicate count.
+  EXPECT_EQ(node_at(engine, 0.9)->received.size() + engine.pending_messages(),
+            counters.total_sent() + counters.faults.duplicated);
+}
+
+TEST(Faults, DelayedMessagesArriveLateButIntact) {
+  FaultPlan plan;
+  plan.delay_probability = 0.5;
+  plan.max_delay_rounds = 4;
+  Engine engine(EngineConfig{.seed = 5, .faults = plan});
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));
+  engine.add_process(std::make_unique<Node>(0.9));
+  engine.run_rounds(60);
+  const auto& counters = engine.counters();
+  EXPECT_GT(counters.faults.delayed, 10u);
+  // Delay reorders, never destroys: every send is delivered or in flight.
+  EXPECT_EQ(node_at(engine, 0.9)->received.size() + engine.pending_messages(),
+            counters.total_sent());
+  // Held messages are part of the pending view (Def. 4.2 honesty).
+  std::size_t walked = 0;
+  engine.for_each_pending([&walked](Id, const Message&) { ++walked; });
+  EXPECT_EQ(walked, engine.pending_messages());
+}
+
+TEST(Faults, PartitionDropsCrossingMessagesOnlyInsideWindow) {
+  FaultPlan plan;
+  plan.partition_start = 3;
+  plan.partition_rounds = 4;  // rounds 3..6 inclusive are partitioned
+  plan.partition_pivot = 0.5;
+  Engine engine(EngineConfig{.seed = 1, .faults = plan});
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));  // crosses the pivot
+  engine.add_process(std::make_unique<Node>(0.9, 0.1));  // crosses the pivot
+  engine.add_process(std::make_unique<Node>(0.2, 0.1));  // same side: immune
+  engine.run_rounds(10);
+  const auto& counters = engine.counters();
+  // Two crossing senders × four partitioned rounds.
+  EXPECT_EQ(counters.faults.partition_dropped, 8u);
+  // The same-side flow is untouched: 10 sends, 9 delivered + 1 in flight.
+  std::size_t same_side = 0;
+  for (const Message& m : node_at(engine, 0.1)->received)
+    if (m.id1 == 0.2) ++same_side;
+  EXPECT_EQ(same_side, 9u);
+  // Crossing flow resumed after the window: sends of rounds 1, 2, 7, 8, 9
+  // arrive (round 10's is still in flight).
+  std::size_t crossing = 0;
+  for (const Message& m : node_at(engine, 0.1)->received)
+    if (m.id1 == 0.9) ++crossing;
+  EXPECT_EQ(crossing, 5u);
+}
+
+TEST(Faults, ReplayResurrectsPastTraffic) {
+  FaultPlan plan;
+  plan.replay_probability = 0.5;
+  plan.replay_history = 4;
+  Engine engine(EngineConfig{.seed = 9, .faults = plan});
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));
+  engine.add_process(std::make_unique<Node>(0.9));
+  engine.run_rounds(40);
+  const auto& counters = engine.counters();
+  EXPECT_GT(counters.faults.replayed, 10u);
+  // A replay is one extra delivery of an already-sent message.
+  EXPECT_EQ(node_at(engine, 0.9)->received.size() + engine.pending_messages(),
+            counters.total_sent() + counters.faults.replayed);
+}
+
+TEST(Faults, OldestLastSchedulerDelaysEveryMessageExactly) {
+  Engine engine(EngineConfig{.scheduler = SchedulerKind::kAdversarialOldestLast,
+                             .seed = 1,
+                             .adversary_delay = 2});
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));
+  engine.add_process(std::make_unique<Node>(0.9));
+  engine.run_rounds(10);
+  // A round-k send normally arrives in round k+1; the adversary holds it 2
+  // extra rounds, so the receiver has seen the sends of rounds 1..7.
+  EXPECT_EQ(node_at(engine, 0.9)->received.size(), 7u);
+  EXPECT_EQ(engine.counters().faults.delayed, 10u);  // every send was held
+}
+
+TEST(Faults, OldestLastRequiresPositiveDelay) {
+  EXPECT_DEATH(
+      Engine(EngineConfig{.scheduler = SchedulerKind::kAdversarialOldestLast,
+                          .adversary_delay = 0}),
+      "adversary_delay");
+}
+
+TEST(Faults, PurgeRemovesHeldMessagesAndReplayHistory) {
+  FaultPlan plan;
+  plan.delay_probability = 0.9;
+  plan.max_delay_rounds = 20;  // most traffic parks in the hold queue
+  plan.replay_probability = 0.3;
+  plan.replay_history = 8;
+  Engine engine(EngineConfig{.seed = 2, .faults = plan});
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));
+  engine.add_process(std::make_unique<Node>(0.9, 0.1));
+  engine.run_rounds(10);
+  ASSERT_GT(engine.pending_messages(), 0u);
+  const std::uint64_t dropped_before = engine.counters().dropped;
+  // Fail-stop leave: held messages to/from 0.9 vanish and count as dropped.
+  ASSERT_TRUE(engine.remove_process(0.9, /*purge_references=*/true));
+  EXPECT_EQ(engine.pending_messages(), 0u);
+  EXPECT_GT(engine.counters().dropped, dropped_before);
+  // The survivor keeps running; a replay can never resurrect the departed
+  // identifier because the history was purged with the hold queue.
+  dynamic_cast<Node*>(engine.find(0.1))->received.clear();
+  engine.run_rounds(20);
+  for (const Message& m : node_at(engine, 0.1)->received) EXPECT_NE(m.id1, 0.9);
+}
+
+TEST(Faults, CountersFlowIntoMetricsRegistry) {
+  FaultPlan plan;
+  plan.duplicate_probability = 0.3;
+  plan.delay_probability = 0.3;
+  plan.max_delay_rounds = 2;
+  plan.partition_start = 1;
+  plan.partition_rounds = 3;
+  plan.partition_pivot = 0.5;
+  plan.replay_probability = 0.2;
+  plan.replay_history = 4;
+  obs::Registry registry;
+  Engine engine(EngineConfig{.seed = 4, .faults = plan});
+  engine.attach_metrics(registry);
+  engine.add_process(std::make_unique<Node>(0.1, 0.9));
+  engine.add_process(std::make_unique<Node>(0.9, 0.1));
+  engine.run_rounds(40);
+  const auto& faults = engine.counters().faults;
+  EXPECT_GT(faults.duplicated, 0u);
+  EXPECT_GT(faults.delayed, 0u);
+  EXPECT_GT(faults.replayed, 0u);
+  EXPECT_GT(faults.partition_dropped, 0u);
+  EXPECT_EQ(registry.counter("faults.messages.duplicated").value(), faults.duplicated);
+  EXPECT_EQ(registry.counter("faults.messages.delayed").value(), faults.delayed);
+  EXPECT_EQ(registry.counter("faults.messages.replayed").value(), faults.replayed);
+  EXPECT_EQ(registry.counter("faults.messages.partition-dropped").value(),
+            faults.partition_dropped);
+}
+
+}  // namespace
+}  // namespace sssw::sim

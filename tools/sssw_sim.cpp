@@ -104,6 +104,15 @@ int main(int argc, char** argv) {
   std::string shape_name = "random-chain";
   std::string scheduler_name = "synchronous";
   double delivery_prob = 0.5;
+  double fault_duplicate = 0.0;
+  double fault_delay = 0.0;
+  std::int64_t fault_delay_max = 3;
+  std::int64_t fault_partition_start = 0;
+  std::int64_t fault_partition_rounds = 0;
+  double fault_partition_pivot = 0.5;
+  double fault_replay = 0.0;
+  std::int64_t fault_replay_history = 16;
+  std::int64_t adversary_delay = 3;
   std::string script;
   std::string metrics_path;
   std::int64_t metrics_every = 100;
@@ -112,11 +121,31 @@ int main(int argc, char** argv) {
   cli.flag("seed", "random seed", &seed);
   cli.flag("shape", "initial topology shape", &shape_name);
   cli.flag("scheduler",
-           "synchronous | random-async | adversarial-lifo | delayed-random",
+           "synchronous | random-async | adversarial-lifo | delayed-random | "
+           "adversarial-oldest-last",
            &scheduler_name);
   cli.flag("delivery-prob",
            "delayed-random only: per-round delivery probability, in (0,1]",
            &delivery_prob);
+  cli.flag("fault-duplicate", "per-message duplication probability, in [0,1)",
+           &fault_duplicate);
+  cli.flag("fault-delay", "per-message extra-delay probability, in [0,1)",
+           &fault_delay);
+  cli.flag("fault-delay-max", "max extra rounds a delayed message is held",
+           &fault_delay_max);
+  cli.flag("fault-partition-start", "round the transient partition opens",
+           &fault_partition_start);
+  cli.flag("fault-partition-rounds", "partition duration in rounds (0 = off)",
+           &fault_partition_rounds);
+  cli.flag("fault-partition-pivot", "id-space split point of the partition",
+           &fault_partition_pivot);
+  cli.flag("fault-replay", "per-message stale-replay probability, in [0,1)",
+           &fault_replay);
+  cli.flag("fault-replay-history", "messages remembered for replay",
+           &fault_replay_history);
+  cli.flag("adversary-delay",
+           "adversarial-oldest-last only: rounds every message is held",
+           &adversary_delay);
   cli.flag("script", "read commands from this file instead of stdin", &script);
   cli.flag("metrics", "stream the metrics registry to this JSONL file", &metrics_path);
   cli.flag("metrics-every", "rounds between metric snapshots", &metrics_every);
@@ -136,9 +165,7 @@ int main(int argc, char** argv) {
 
   sim::SchedulerKind scheduler = sim::SchedulerKind::kSynchronous;
   bool scheduler_known = false;
-  for (const auto candidate :
-       {sim::SchedulerKind::kSynchronous, sim::SchedulerKind::kRandomAsync,
-        sim::SchedulerKind::kAdversarialLifo, sim::SchedulerKind::kDelayedRandom}) {
+  for (const auto candidate : sim::kAllSchedulers) {
     if (scheduler_name == sim::to_string(candidate)) {
       scheduler = candidate;
       scheduler_known = true;
@@ -149,11 +176,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  sim::FaultPlan faults;
+  faults.duplicate_probability = fault_duplicate;
+  faults.delay_probability = fault_delay;
+  faults.max_delay_rounds = static_cast<std::uint32_t>(fault_delay_max);
+  faults.partition_start = static_cast<std::uint64_t>(fault_partition_start);
+  faults.partition_rounds = static_cast<std::uint64_t>(fault_partition_rounds);
+  faults.partition_pivot = fault_partition_pivot;
+  faults.replay_probability = fault_replay;
+  faults.replay_history = static_cast<std::size_t>(fault_replay_history);
+  if (fault_duplicate < 0 || fault_duplicate >= 1 || fault_delay < 0 ||
+      fault_delay >= 1 || fault_replay < 0 || fault_replay >= 1 ||
+      fault_delay_max < 0 || fault_partition_start < 0 ||
+      fault_partition_rounds < 0 || fault_replay_history < 0 ||
+      adversary_delay < 1) {
+    std::fprintf(stderr,
+                 "fault probabilities must lie in [0,1), counts must be "
+                 "non-negative, --adversary-delay must be positive\n");
+    return 1;
+  }
+
   util::Rng rng(static_cast<std::uint64_t>(seed));
   core::NetworkOptions options;
   options.seed = static_cast<std::uint64_t>(seed);
   options.scheduler = scheduler;
   options.delivery_probability = delivery_prob;
+  options.faults = faults;
+  options.adversary_delay = static_cast<std::uint32_t>(adversary_delay);
   options.protocol.failure_timeout = 16;  // crash-stop works out of the box
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(
