@@ -27,11 +27,14 @@ ChurnStormResult run_churn_storm(const ChurnStormOptions& options) {
       do {
         fresh = event_rng.uniform();
       } while (fresh == 0.0 || network.engine().contains(fresh));
-      const auto ids = network.engine().ids();
-      if (network.join(fresh, ids[event_rng.below(ids.size())])) ++result.joins;
+      // Copy the picked id out of the span before join/leave invalidates it.
+      const auto ids = network.engine().id_span();
+      const sim::Id contact = ids[event_rng.below(ids.size())];
+      if (network.join(fresh, contact)) ++result.joins;
     } else {
-      const auto ids = network.engine().ids();
-      if (network.leave(ids[event_rng.below(ids.size())])) ++result.leaves;
+      const auto ids = network.engine().id_span();
+      const sim::Id victim = ids[event_rng.below(ids.size())];
+      if (network.leave(victim)) ++result.leaves;
     }
     network.run_rounds(options.event_interval);  // storm marches on
   }

@@ -99,8 +99,9 @@ ChurnResult measure_join(const ChurnOptions& options) {
         stabilized_network(options.n, seed, options.protocol, options.burn_in_rounds);
     util::Rng rng(seed ^ 0x6a6f696eull);  // independent stream for the event
 
-    // Draw a fresh id and a uniformly random contact.
-    const auto ids = network.engine().ids();
+    // Draw a fresh id and a uniformly random contact.  (Span: the contact
+    // is copied out before join() invalidates it.)
+    const auto ids = network.engine().id_span();
     sim::Id new_id;
     do {
       new_id = rng.uniform();
@@ -142,7 +143,7 @@ ChurnResult measure_leave(const ChurnOptions& options) {
         stabilized_network(options.n, seed, options.protocol, options.burn_in_rounds);
     util::Rng rng(seed ^ 0x6c656176ull);
 
-    const auto ids = network.engine().ids();
+    const auto ids = network.engine().id_span();
     const sim::Id victim = ids[rng.below(ids.size())];
 
     network.engine().reset_counters();

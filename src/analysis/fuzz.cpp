@@ -130,7 +130,7 @@ std::uint64_t fold_counters(const sim::EngineCounters& counters) {
   return hash;
 }
 
-core::SmallWorldNetwork build_network(const FuzzCase& c) {
+core::SmallWorldNetwork build_network(const FuzzCase& c, bool paranoid) {
   util::Rng rng(c.seed);
   auto ids = core::random_ids(c.n, rng);
   core::NetworkOptions options;
@@ -139,6 +139,7 @@ core::SmallWorldNetwork build_network(const FuzzCase& c) {
   options.seed = c.seed;
   options.faults = c.faults;
   options.adversary_delay = c.adversary_delay;
+  options.verify_tracker = paranoid;
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(c.shape, std::move(ids), rng));
   return net;
@@ -148,7 +149,7 @@ core::SmallWorldNetwork build_network(const FuzzCase& c) {
 
 FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
   c.faults.validate();
-  core::SmallWorldNetwork net = build_network(c);
+  core::SmallWorldNetwork net = build_network(c, options.paranoid);
   const sim::Engine& engine = net.engine();
 
   const bool has_partition = c.faults.partition_rounds > 0;
@@ -174,7 +175,7 @@ FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
     const core::Phase phase = net.phase();
     if (check_monotone && phase < best_phase) fail(FuzzOracle::kPhaseMonotone, round);
     if (phase > best_phase) best_phase = phase;
-    if (!violated && !core::lrls_resolve(engine))
+    if (!violated && !net.lrls_resolve())
       fail(FuzzOracle::kLrlsResolve, round);
     if (!violated && !has_partition && !core::cc_weakly_connected(engine))
       fail(FuzzOracle::kConnectivity, round);

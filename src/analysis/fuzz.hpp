@@ -91,6 +91,12 @@ struct FuzzVerdict {
 /// shrink and replay byte-identically).
 struct FuzzOptions {
   std::optional<FuzzOracle> invert{};
+  /// Cross-check the network's incremental invariant tracker against the
+  /// recompute oracles on every per-round query (NetworkOptions::
+  /// verify_tracker).  Pure observation: verdicts, rounds, and digests are
+  /// identical with or without it, so it is deliberately NOT serialized
+  /// into reproducers — it only changes how hard a replay checks itself.
+  bool paranoid = false;
 };
 
 /// Samples one case from the master stream.  Every dimension is drawn from

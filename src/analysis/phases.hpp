@@ -24,6 +24,14 @@ struct PhaseTimelineOptions {
   std::size_t max_rounds = 200000;
   core::Config protocol{};
   sim::SchedulerKind scheduler = sim::SchedulerKind::kSynchronous;
+  /// Below the sorted-list phase the classifier needs BFS connectivity
+  /// (O(n+m) per check); it backs off exponentially while the low phase is
+  /// unchanged, doubling the check stride up to this cap.  1 = check every
+  /// round (exact low-phase rounds).  With a cap > 1 the low-phase
+  /// `first_reached` entries are upper bounds, at most `cap − 1` rounds
+  /// late; rounds for kSortedList and above are always exact (tracked in
+  /// O(1), checked every round).
+  std::size_t connectivity_stride_cap = 64;
 };
 
 struct PhaseTimeline {

@@ -14,10 +14,21 @@ using sim::kNegInf;
 using sim::kPosInf;
 
 FingerNode::FingerNode(Id id, Id l, Id r, const FingerConfig& config)
-    : config_(config), id_(id), l_(l), r_(r) {
+    : sim::Process(sim::kFingerProcess), config_(config), id_(id), l_(l), r_(r) {
   SSSW_CHECK_MSG(config.finger_slots >= 1, "need at least one finger slot");
   fingers_.assign(config.finger_slots, id_);  // self = "unknown yet"
 }
+
+namespace {
+
+// Tag-check downcast (see core::as_node): kind comparison instead of RTTI.
+const FingerNode* as_finger_node(const sim::Process* process) noexcept {
+  return process != nullptr && process->kind() == sim::kFingerProcess
+             ? static_cast<const FingerNode*>(process)
+             : nullptr;
+}
+
+}  // namespace
 
 Id FingerNode::finger_key(std::uint32_t slot) const noexcept {
   SSSW_DCHECK(slot >= 1 && slot <= config_.finger_slots);
@@ -104,9 +115,9 @@ void FingerNode::forward_find(sim::Context& ctx, Id key, Id origin) {
 }
 
 bool fingers_sorted_list(const sim::Engine& engine) {
-  const std::vector<Id> ids = engine.ids();
+  const std::span<const Id> ids = engine.id_span();
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto* node = dynamic_cast<const FingerNode*>(engine.find(ids[i]));
+    const auto* node = as_finger_node(engine.find(ids[i]));
     if (node == nullptr) return false;
     const Id want_l = i == 0 ? kNegInf : ids[i - 1];
     const Id want_r = i + 1 == ids.size() ? kPosInf : ids[i + 1];
@@ -116,11 +127,11 @@ bool fingers_sorted_list(const sim::Engine& engine) {
 }
 
 bool fingers_correct(const sim::Engine& engine) {
-  const std::vector<Id> ids = engine.ids();
+  const std::span<const Id> ids = engine.id_span();
   if (ids.empty()) return true;
   bool ok = true;
   engine.for_each([&](const sim::Process& process) {
-    const auto* node = dynamic_cast<const FingerNode*>(&process);
+    const auto* node = as_finger_node(&process);
     if (node == nullptr) {
       ok = false;
       return;
@@ -137,14 +148,14 @@ bool fingers_correct(const sim::Engine& engine) {
 }
 
 graph::Digraph finger_view(const sim::Engine& engine) {
-  const std::vector<Id> ids = engine.ids();
+  const std::span<const Id> ids = engine.id_span();
   graph::Digraph g(ids.size());
   const auto rank_of = [&](Id id) {
     return static_cast<graph::Vertex>(
         std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
   };
   engine.for_each([&](const sim::Process& process) {
-    const auto* node = dynamic_cast<const FingerNode*>(&process);
+    const auto* node = as_finger_node(&process);
     if (node == nullptr) return;
     const graph::Vertex from = rank_of(node->id());
     const auto add = [&](Id to) {

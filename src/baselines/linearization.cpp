@@ -1,6 +1,6 @@
 #include "baselines/linearization.hpp"
 
-#include <vector>
+#include <span>
 
 namespace sssw::baselines {
 
@@ -8,6 +8,18 @@ using sim::Id;
 using sim::is_node_id;
 using sim::kNegInf;
 using sim::kPosInf;
+
+namespace {
+
+// Tag-check downcast (see core::as_node): kind comparison instead of RTTI.
+const LinearizationNode* as_lin_node(const sim::Process* process) noexcept {
+  return process != nullptr &&
+                 process->kind() == sim::kLinearizationProcess
+             ? static_cast<const LinearizationNode*>(process)
+             : nullptr;
+}
+
+}  // namespace
 
 void LinearizationNode::on_message(sim::Context& ctx, const sim::Message& message) {
   if (message.type == kLin) linearize(ctx, message.id1);
@@ -38,9 +50,9 @@ void LinearizationNode::linearize(sim::Context& ctx, Id id) {
 }
 
 bool is_sorted_list(const sim::Engine& engine) {
-  const std::vector<Id> ids = engine.ids();
+  const std::span<const Id> ids = engine.id_span();
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto* node = dynamic_cast<const LinearizationNode*>(engine.find(ids[i]));
+    const auto* node = as_lin_node(engine.find(ids[i]));
     if (node == nullptr) return false;
     const Id want_l = i == 0 ? kNegInf : ids[i - 1];
     const Id want_r = i + 1 == ids.size() ? kPosInf : ids[i + 1];

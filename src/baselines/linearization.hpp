@@ -17,7 +17,8 @@ class LinearizationNode final : public sim::Process {
  public:
   static constexpr sim::MessageType kLin = 0;
 
-  LinearizationNode(sim::Id id, sim::Id l, sim::Id r) : id_(id), l_(l), r_(r) {}
+  LinearizationNode(sim::Id id, sim::Id l, sim::Id r)
+      : sim::Process(sim::kLinearizationProcess), id_(id), l_(l), r_(r) {}
 
   sim::Id id() const noexcept override { return id_; }
   sim::Id l() const noexcept { return l_; }

@@ -1,6 +1,6 @@
 #include "core/invariants.hpp"
 
-#include <vector>
+#include <span>
 
 #include "core/node.hpp"
 #include "core/views.hpp"
@@ -12,16 +12,8 @@ using sim::Id;
 using sim::kNegInf;
 using sim::kPosInf;
 
-namespace {
-
-const SmallWorldNode* as_node(const sim::Process* process) {
-  return dynamic_cast<const SmallWorldNode*>(process);
-}
-
-}  // namespace
-
 bool is_sorted_list(const sim::Engine& engine) {
-  const std::vector<Id> ids = engine.ids();  // ascending
+  const std::span<const Id> ids = engine.id_span();  // ascending
   if (ids.empty()) return true;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto* node = as_node(engine.find(ids[i]));
@@ -35,7 +27,7 @@ bool is_sorted_list(const sim::Engine& engine) {
 
 bool is_sorted_ring(const sim::Engine& engine) {
   if (!is_sorted_list(engine)) return false;
-  const std::vector<Id> ids = engine.ids();
+  const std::span<const Id> ids = engine.id_span();
   if (ids.size() < 2) return true;  // a single node is trivially a ring
   const auto* min_node = as_node(engine.find(ids.front()));
   const auto* max_node = as_node(engine.find(ids.back()));

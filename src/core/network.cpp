@@ -1,7 +1,6 @@
 #include "core/network.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "util/check.hpp"
 
@@ -20,26 +19,53 @@ SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
           .delivery_probability = options.delivery_probability,
           .message_loss = options.message_loss,
           .faults = options.faults,
-          .adversary_delay = options.adversary_delay}) {}
+          .adversary_delay = options.adversary_delay}),
+      tracker_(std::make_unique<InvariantTracker>()) {}
 
 void SmallWorldNetwork::add_node(const NodeInit& init) {
   auto node = std::make_unique<SmallWorldNode>(init, options_.protocol);
   if (node_metrics_ != nullptr) node->set_metrics(node_metrics_.get());
+  SmallWorldNode* raw = node.get();
   engine_.add_process(std::move(node));
+  // Seed the tracker *after* the engine owns the node (membership decides
+  // link resolution), then start the mutation-hook stream.
+  tracker_->on_add(*raw);
+  raw->set_invariant_tracker(tracker_.get());
 }
 
 void SmallWorldNetwork::attach_metrics(obs::Registry& registry) {
   engine_.attach_metrics(registry);
   node_metrics_ = std::make_unique<NodeMetrics>(registry);
-  for (const Id id : engine_.ids())
+  for (const Id id : engine_.id_span())
     if (SmallWorldNode* n = node(id)) n->set_metrics(node_metrics_.get());
+  // Tracker gauges (doc/OBSERVABILITY.md invariants.*), refreshed once per
+  // round.  Gauge references and the tracker pointer are stable across
+  // network moves (Registry stores metrics behind node-stable maps; the
+  // tracker lives behind unique_ptr).
+  obs::Gauge& sorted_pairs = registry.gauge("invariants.sorted-pairs");
+  obs::Gauge& ring_closed = registry.gauge("invariants.ring-closed");
+  obs::Gauge& forgot = registry.gauge("invariants.forgot-nodes");
+  obs::Gauge& unresolved = registry.gauge("invariants.unresolved-lrls");
+  InvariantTracker* tracker = tracker_.get();
+  invariant_hook_ = engine_.add_round_hook([=, &sorted_pairs, &ring_closed,
+                                            &forgot,
+                                            &unresolved](std::uint64_t) {
+    sorted_pairs.set(static_cast<double>(tracker->sorted_pairs()));
+    ring_closed.set(tracker->sorted_ring() ? 1.0 : 0.0);
+    forgot.set(static_cast<double>(tracker->forgot_nodes()));
+    unresolved.set(static_cast<double>(tracker->unresolved_links()));
+  });
 }
 
 void SmallWorldNetwork::detach_metrics() {
   engine_.detach_metrics();
-  for (const Id id : engine_.ids())
+  for (const Id id : engine_.id_span())
     if (SmallWorldNode* n = node(id)) n->set_metrics(nullptr);
   node_metrics_.reset();
+  if (invariant_hook_ != 0) {
+    engine_.remove_round_hook(invariant_hook_);
+    invariant_hook_ = 0;
+  }
 }
 
 void SmallWorldNetwork::add_nodes(const std::vector<NodeInit>& inits) {
@@ -69,26 +95,15 @@ std::optional<std::uint64_t> SmallWorldNetwork::run_until_small_world(
   if (!ring_rounds.has_value()) return std::nullopt;
 
   // Baseline forget counts at ring formation; Phase 4 needs one forget per
-  // node after this point (Theorem 4.22).
-  std::map<Id, std::uint64_t> baseline;
-  engine_.for_each([&](const sim::Process& process) {
-    const auto* n = dynamic_cast<const SmallWorldNode*>(&process);
-    if (n != nullptr) baseline[n->id()] = n->forget_count();
-  });
-  const auto all_forgot = [&] {
-    bool ok = true;
-    engine_.for_each([&](const sim::Process& process) {
-      const auto* n = dynamic_cast<const SmallWorldNode*>(&process);
-      if (n == nullptr) return;
-      const auto it = baseline.find(n->id());
-      const std::uint64_t before = it == baseline.end() ? 0 : it->second;
-      if (n->forget_count() <= before) ok = false;
-    });
-    return ok;
-  };
+  // node after this point (Theorem 4.22).  The tracker snapshots the
+  // baseline once (O(n)) and maintains the predicate incrementally; nodes
+  // joining mid-run count as fresh once they forget at all, exactly like
+  // the old oracle's `before = 0` for unknown ids.
+  tracker_->arm_forget_epoch();
   const std::size_t used = static_cast<std::size_t>(*ring_rounds);
   if (used >= max_rounds) return std::nullopt;
-  if (engine_.run_until(all_forgot, max_rounds - used))
+  if (engine_.run_until([this] { return tracker_->epoch_all_forgot(); },
+                        max_rounds - used))
     return engine_.round() - start;
   return std::nullopt;
 }
@@ -108,9 +123,11 @@ bool SmallWorldNetwork::join(Id new_id, Id contact) {
 
 bool SmallWorldNetwork::leave(Id id) {
   if (!engine_.remove_process(id)) return false;
+  tracker_->on_remove(id);
   // Fail-stop with neighbour detection (§IV.G): every variable pointing at
   // the departed node is cleared, producing the "gap" the analysis studies.
-  for (const Id other : engine_.ids()) {
+  // The survivor mutators notify the tracker themselves.
+  for (const Id other : engine_.id_span()) {
     auto* n = node(other);
     if (n == nullptr) continue;
     if (n->l() == id) n->set_l(kNegInf);
@@ -121,12 +138,72 @@ bool SmallWorldNetwork::leave(Id id) {
   return true;
 }
 
+bool SmallWorldNetwork::crash(Id id) {
+  if (!engine_.remove_process(id, /*purge=*/false)) return false;
+  tracker_->on_remove(id);
+  return true;
+}
+
+bool SmallWorldNetwork::sorted_list() const {
+  const bool tracked = tracker_->sorted_list();
+  if (options_.verify_tracker) {
+    tracker_->verify_against(engine_);
+    SSSW_CHECK_MSG(tracked == is_sorted_list(engine_),
+                   "tracked sorted_list diverged from oracle");
+  }
+  return tracked;
+}
+
+bool SmallWorldNetwork::sorted_ring() const {
+  const bool tracked = tracker_->sorted_ring();
+  if (options_.verify_tracker) {
+    tracker_->verify_against(engine_);
+    SSSW_CHECK_MSG(tracked == is_sorted_ring(engine_),
+                   "tracked sorted_ring diverged from oracle");
+  }
+  return tracked;
+}
+
+bool SmallWorldNetwork::lrls_resolve() const {
+  const bool tracked = tracker_->lrls_resolve();
+  if (options_.verify_tracker) {
+    tracker_->verify_against(engine_);
+    SSSW_CHECK_MSG(tracked == core::lrls_resolve(engine_),
+                   "tracked lrls_resolve diverged from oracle");
+  }
+  return tracked;
+}
+
+Phase SmallWorldNetwork::phase() const {
+  // Same classification ladder as detect_phase(), with the two top rungs
+  // answered by the tracker in O(1).  BFS connectivity runs only below the
+  // sorted-list phase, where the tracker predicates are all false and the
+  // oracle would fall through to the same traversals.
+  Phase tracked = Phase::kDisconnected;
+  if (tracker_->sorted_ring()) {
+    tracked = tracker_->all_forgot() ? Phase::kSmallWorld : Phase::kSortedRing;
+  } else if (tracker_->sorted_list()) {
+    tracked = Phase::kSortedList;
+  } else if (lcc_weakly_connected(engine_)) {
+    tracked = Phase::kListConnected;
+  } else {
+    tracked = cc_weakly_connected(engine_) ? Phase::kWeaklyConnected
+                                           : Phase::kDisconnected;
+  }
+  if (options_.verify_tracker) {
+    tracker_->verify_against(engine_);
+    SSSW_CHECK_MSG(tracked == detect_phase(engine_),
+                   "tracked phase diverged from oracle");
+  }
+  return tracked;
+}
+
 const SmallWorldNode* SmallWorldNetwork::node(Id id) const {
-  return dynamic_cast<const SmallWorldNode*>(engine_.find(id));
+  return as_node(engine_.find(id));
 }
 
 SmallWorldNode* SmallWorldNetwork::node(Id id) {
-  return dynamic_cast<SmallWorldNode*>(engine_.find(id));
+  return as_node(engine_.find(id));
 }
 
 std::vector<std::size_t> SmallWorldNetwork::lrl_lengths() const {
@@ -134,7 +211,7 @@ std::vector<std::size_t> SmallWorldNetwork::lrl_lengths() const {
   std::vector<std::size_t> lengths;
   lengths.reserve(index.size());
   engine_.for_each([&](const sim::Process& process) {
-    const auto* n = dynamic_cast<const SmallWorldNode*>(&process);
+    const auto* n = as_node(&process);
     if (n == nullptr) return;
     for (const SmallWorldNode::LongRangeLink& link : n->lrls()) {
       const Id target = link.target;

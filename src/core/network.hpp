@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/invariant_tracker.hpp"
 #include "core/invariants.hpp"
 #include "core/node.hpp"
 #include "core/node_metrics.hpp"
@@ -37,6 +38,10 @@ struct NetworkOptions {
   /// kAdversarialOldestLast only: rounds each message is held before its
   /// channel sees it (see sim::EngineConfig::adversary_delay).
   std::uint32_t adversary_delay = 3;
+  /// Debug mode: cross-check the incremental invariant tracker against the
+  /// recompute oracle on every sorted_list/sorted_ring/phase query.  O(n+m)
+  /// per query — for tests and the fuzzer's --paranoid mode, not production.
+  bool verify_tracker = false;
 };
 
 class SmallWorldNetwork {
@@ -78,7 +83,7 @@ class SmallWorldNetwork {
   /// and stale in-flight messages survive.  Recovery requires the failure
   /// detector (Config::failure_timeout > 0) — with it disabled the gap can
   /// wedge forever, which is why the paper assumes detected leaves.
-  bool crash(sim::Id id) { return engine_.remove_process(id, /*purge=*/false); }
+  bool crash(sim::Id id);
 
   // --- observability ------------------------------------------------------
   /// Attaches `registry` to the whole network: the engine's engine.* metrics
@@ -92,9 +97,16 @@ class SmallWorldNetwork {
   sim::Engine& engine() noexcept { return engine_; }
   const sim::Engine& engine() const noexcept { return engine_; }
 
-  bool sorted_list() const { return is_sorted_list(engine_); }
-  bool sorted_ring() const { return is_sorted_ring(engine_); }
-  Phase phase() const { return detect_phase(engine_); }
+  // O(1) per query via the incremental tracker (BFS connectivity only below
+  // the sorted-list phase); answers are bit-identical to the invariants.hpp
+  // recompute oracle, and verify_tracker cross-checks that on every call.
+  bool sorted_list() const;
+  bool sorted_ring() const;
+  bool lrls_resolve() const;
+  Phase phase() const;
+
+  /// Read-only access to the tracker (gauges, tests).
+  const InvariantTracker& tracker() const noexcept { return *tracker_; }
 
   const SmallWorldNode* node(sim::Id id) const;
   SmallWorldNode* node(sim::Id id);
@@ -109,7 +121,11 @@ class SmallWorldNetwork {
  private:
   NetworkOptions options_;
   sim::Engine engine_;
+  /// Always on; behind unique_ptr so node back-pointers survive network
+  /// moves (make_stable_ring / snapshot restore return networks by value).
+  std::unique_ptr<InvariantTracker> tracker_;
   std::unique_ptr<NodeMetrics> node_metrics_;  ///< live iff metrics attached
+  sim::Engine::HookId invariant_hook_ = 0;     ///< live iff metrics attached
 };
 
 /// Builds a network whose nodes carry the given ids and whose initial state

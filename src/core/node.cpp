@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/invariant_tracker.hpp"
 #include "core/node_metrics.hpp"
 #include "util/check.hpp"
 
@@ -34,7 +35,8 @@ const char* msg_type_name(sim::MessageType type) noexcept {
 }
 
 SmallWorldNode::SmallWorldNode(const NodeInit& init, const Config& config)
-    : config_(config),
+    : sim::Process(sim::kSmallWorldProcess),
+      config_(config),
       id_(init.id),
       l_(init.l),
       r_(init.r),
@@ -54,13 +56,28 @@ void SmallWorldNode::send(sim::Context& ctx, Id to, sim::MessageType type, Id id
   ctx.send(to, sim::Message{type, id1, id2});
 }
 
+void SmallWorldNode::notify_list() {
+  if (tracker_ != nullptr) tracker_->on_list_changed(*this);
+}
+
+void SmallWorldNode::notify_lrl() {
+  if (tracker_ != nullptr) tracker_->on_lrl_changed(*this);
+}
+
+void SmallWorldNode::notify_forget() {
+  if (tracker_ != nullptr) tracker_->on_forget(*this);
+}
+
 void SmallWorldNode::reset_lrls_matching(Id id) noexcept {
+  bool changed = false;
   for (LongRangeLink& link : lrls_) {
     if (link.target == id) {
       link.target = id_;
+      changed = true;
       if (metrics_ != nullptr) metrics_->lrl_resets.add(1);
     }
   }
+  if (changed) notify_lrl();
 }
 
 bool SmallWorldNode::has_ring_edge() const noexcept {
@@ -182,27 +199,32 @@ void SmallWorldNode::tick_failure_detector() {
     suspect(l_);
     l_ = kNegInf;
     silence_l_ = 0;
+    notify_list();
     if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
   if (r_ != kPosInf && ++silence_r_ > timeout) {
     suspect(r_);
     r_ = kPosInf;
     silence_r_ = 0;
+    notify_list();
     if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
   if (config_.move_and_forget_enabled) {
+    bool links_changed = false;
     for (LongRangeLink& link : lrls_) {
       if (link.target != id_ && ++link.silence > timeout) {
         suspect(link.target);
         link.target = id_;  // give up on a silent endpoint: token restarts
         link.age = 0;
         link.silence = 0;
+        links_changed = true;
         if (metrics_ != nullptr) {
           metrics_->detector_timeouts.add(1);
           metrics_->lrl_resets.add(1);
         }
       }
     }
+    if (links_changed) notify_lrl();
   }
   if (ring_ != id_ && ++silence_ring_ > timeout) {
     // The ring target is usually alive (the walk is just unfinished): reset
@@ -240,6 +262,7 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
       r_ = id;
       silence_r_ = 0;
       tidy_ring();
+      notify_list();
       if (metrics_ != nullptr) metrics_->linearize_adoptions.add(1);
     } else {
       const Id shortcut =
@@ -259,6 +282,7 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
       l_ = id;
       silence_l_ = 0;
       tidy_ring();
+      notify_list();
       if (metrics_ != nullptr) metrics_->linearize_adoptions.add(1);
     } else {
       const Id shortcut = config_.lrl_shortcut ? best_left_shortcut(id) : kNegInf;
@@ -320,11 +344,13 @@ void SmallWorldNode::move_forget(sim::Context& ctx, Id id1, Id id2, Id responder
     link->target = id_;  // the token restarts its walk from the origin
     link->age = 0;
     ++forgets_;
+    notify_forget();
     if (metrics_ != nullptr) {
       metrics_->lrl_forgets.add(1);
       metrics_->lrl_resets.add(1);
     }
   }
+  notify_lrl();
 }
 
 // ---------------------------------------------------------------------------

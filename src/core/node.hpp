@@ -24,7 +24,8 @@
 
 namespace sssw::core {
 
-struct NodeMetrics;  // node_metrics.hpp
+struct NodeMetrics;      // node_metrics.hpp
+class InvariantTracker;  // invariant_tracker.hpp
 
 /// Initial internal-variable assignment for one node; the self-stabilization
 /// claim is that *any* weakly connected assignment converges.
@@ -78,9 +79,21 @@ class SmallWorldNode final : public sim::Process {
   Age max_age_seen() const noexcept { return max_age_; }
 
   // --- state mutation for tests/fault injection/snapshot restore -------
-  void set_l(sim::Id v) noexcept { l_ = v; }
-  void set_r(sim::Id v) noexcept { r_ = v; }
-  void set_lrl(sim::Id v) noexcept { lrls_.front().target = v; }
+  // Mutators notify the invariant tracker like the protocol actions do, so
+  // fault-injection tests can scramble state and the tracked predicates
+  // stay exact (the hook contract of invariant_tracker.hpp).
+  void set_l(sim::Id v) noexcept {
+    l_ = v;
+    notify_list();
+  }
+  void set_r(sim::Id v) noexcept {
+    r_ = v;
+    notify_list();
+  }
+  void set_lrl(sim::Id v) noexcept {
+    lrls_.front().target = v;
+    notify_lrl();
+  }
   void set_ring(sim::Id v) noexcept { ring_ = v; }
   void set_age(Age v) noexcept {
     lrls_.front().age = v;
@@ -93,6 +106,14 @@ class SmallWorldNode final : public sim::Process {
   /// Points this node at a shared protocol-event counter sink (not owned;
   /// may be null to detach).  See core/node_metrics.hpp.
   void set_metrics(NodeMetrics* metrics) noexcept { metrics_ = metrics; }
+
+  /// Points this node at the network's incremental invariant tracker (not
+  /// owned; may be null to detach).  The node reports l/r writes, link-
+  /// target writes, and forget_count advances — see invariant_tracker.hpp
+  /// for the full hook contract.
+  void set_invariant_tracker(InvariantTracker* tracker) noexcept {
+    tracker_ = tracker;
+  }
 
  private:
   // Algorithms 2–10.  Each method is a direct transcription; `ctx` carries
@@ -130,6 +151,12 @@ class SmallWorldNode final : public sim::Process {
   void suspect(sim::Id id);
   bool is_suspected(sim::Id id) const noexcept;
 
+  // Invariant-tracker notifications, one per mutated aspect; no-ops while
+  // detached.  Defined in node.cpp (the tracker is an incomplete type here).
+  void notify_list();    ///< after any l_ or r_ write
+  void notify_lrl();     ///< after any link-target write
+  void notify_forget();  ///< after forgets_ advances
+
   /// The link a reslrl from `responder` should move: with one link, always
   /// link 0 (the paper's semantics — stale responses still move the token);
   /// with several, the link whose target is the responder, or null.
@@ -144,7 +171,8 @@ class SmallWorldNode final : public sim::Process {
 
   const Config config_;
   const sim::Id id_;
-  NodeMetrics* metrics_ = nullptr;  ///< optional shared sink; never owned
+  NodeMetrics* metrics_ = nullptr;           ///< optional shared sink; never owned
+  InvariantTracker* tracker_ = nullptr;      ///< optional, never owned
   sim::Id l_;
   sim::Id r_;
   std::vector<LongRangeLink> lrls_;  // size config.lrl_count, ≥ 1
@@ -162,5 +190,19 @@ class SmallWorldNode final : public sim::Process {
   std::uint64_t detector_ticks_ = 0;
   std::vector<std::pair<sim::Id, std::uint64_t>> suspects_;
 };
+
+/// Typed downcast for hot inspection paths: a process-kind check plus a
+/// static_cast, replacing the dynamic_cast the invariant predicates, views,
+/// and snapshots used to pay per node per evaluation.
+inline const SmallWorldNode* as_node(const sim::Process* process) noexcept {
+  return process != nullptr && process->kind() == sim::kSmallWorldProcess
+             ? static_cast<const SmallWorldNode*>(process)
+             : nullptr;
+}
+inline SmallWorldNode* as_node(sim::Process* process) noexcept {
+  return process != nullptr && process->kind() == sim::kSmallWorldProcess
+             ? static_cast<SmallWorldNode*>(process)
+             : nullptr;
+}
 
 }  // namespace sssw::core

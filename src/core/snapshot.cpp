@@ -38,7 +38,7 @@ Id id_from_text(const std::string& text) {
 Snapshot take_snapshot(const SmallWorldNetwork& network, bool include_channels) {
   Snapshot snapshot;
   network.engine().for_each([&](const sim::Process& process) {
-    const auto* node = dynamic_cast<const SmallWorldNode*>(&process);
+    const auto* node = as_node(&process);
     if (node == nullptr) return;
     snapshot.nodes.push_back({node->id(), node->l(), node->r(), node->lrl(),
                               node->ring(), node->age()});

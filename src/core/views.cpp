@@ -11,8 +11,9 @@ namespace sssw::core {
 using sim::Id;
 using sim::is_node_id;
 
-IdIndex::IdIndex(const sim::Engine& engine) : ids_(engine.ids()) {
-  // Engine::ids() is ascending already; assert rather than re-sort.
+IdIndex::IdIndex(const sim::Engine& engine)
+    : ids_(engine.id_span().begin(), engine.id_span().end()) {
+  // Engine::id_span() is ascending already; assert rather than re-sort.
   SSSW_DCHECK(std::is_sorted(ids_.begin(), ids_.end()));
 }
 
@@ -57,7 +58,7 @@ graph::Digraph extract_view(const sim::Engine& engine, const IdIndex& index,
   graph::Digraph g(index.size());
 
   engine.for_each([&](const sim::Process& process) {
-    const auto* node = dynamic_cast<const SmallWorldNode*>(&process);
+    const auto* node = as_node(&process);
     if (node == nullptr) return;
     const Id owner = node->id();
     if (spec.stored_list) {

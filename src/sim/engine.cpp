@@ -80,11 +80,11 @@ void Engine::add_process(std::unique_ptr<Process> process) {
   index_.emplace(id, slot);
   // Canonical ordering: insert at the slot's id-sorted position instead of
   // rebuilding from map iteration, so order_ is a pure function of the live
-  // id set.
-  const auto pos = std::lower_bound(
-      order_.begin(), order_.end(), id,
-      [this](std::size_t s, Id value) { return slots_[s].process->id() < value; });
-  order_.insert(pos, slot);
+  // id set.  ids_sorted_ is the parallel identifier mirror behind id_span().
+  const auto pos = std::lower_bound(ids_sorted_.begin(), ids_sorted_.end(), id);
+  const auto rank = static_cast<std::size_t>(pos - ids_sorted_.begin());
+  ids_sorted_.insert(pos, id);
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(rank), slot);
   rebuild_schedule_index();
 }
 
@@ -98,6 +98,8 @@ bool Engine::remove_process(Id id, bool purge_references) {
   slots_[slot_index].channel.clear();
   index_.erase(it);
   order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(rank));
+  SSSW_DCHECK(rank < ids_sorted_.size() && ids_sorted_[rank] == id);
+  ids_sorted_.erase(ids_sorted_.begin() + static_cast<std::ptrdiff_t>(rank));
   // Fail-stop semantics (§IV.G): "the connections it had to and from other
   // nodes also disappear" — that includes the temporary links formed by
   // in-flight messages carrying the departed identifier.  Without this
@@ -133,14 +135,11 @@ const Process* Engine::find(Id id) const noexcept {
 }
 
 std::vector<Id> Engine::ids() const {
-  std::vector<Id> result;
-  result.reserve(index_.size());
-  for (const auto& [id, slot] : index_) result.push_back(id);
-  return result;
+  return std::vector<Id>(ids_sorted_.begin(), ids_sorted_.end());
 }
 
 void Engine::for_each(const std::function<void(const Process&)>& fn) const {
-  for (const auto& [id, slot] : index_) fn(*slots_[slot].process);
+  for (const std::size_t slot : order_) fn(*slots_[slot].process);
 }
 
 /// Places `message` into the channel of `to`, or counts a drop when the
@@ -369,9 +368,9 @@ bool Engine::run_until(const std::function<bool()>& predicate, std::size_t max_r
 
 void Engine::for_each_pending(
     const std::function<void(Id to, const Message&)>& fn) const {
-  for (const auto& [id, slot_index] : index_)
-    for (const Message& message : slots_[slot_index].channel.pending())
-      fn(id, message);
+  for (std::size_t rank = 0; rank < order_.size(); ++rank)
+    for (const Message& message : slots_[order_[rank]].channel.pending())
+      fn(ids_sorted_[rank], message);
   // Held messages are channel contents that have not reached their channel
   // yet; hiding them would make connectivity views (Def. 4.2) lie about
   // in-flight references.

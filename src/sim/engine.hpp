@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -47,6 +48,17 @@ class Context {
              ///< needs the sender, which a Message does not carry)
 };
 
+/// Cheap protocol tag: hot inspection paths (invariant predicates, views,
+/// snapshots) used to dynamic_cast every process per evaluation, which is
+/// measurable at n >= 10^4.  Each protocol family claims one constant here
+/// and inspection code checks the tag before a static_cast.  0 is reserved
+/// for untagged test/utility processes, which no typed accessor matches.
+using ProcessKind = std::uint8_t;
+inline constexpr ProcessKind kUntaggedProcess = 0;
+inline constexpr ProcessKind kSmallWorldProcess = 1;
+inline constexpr ProcessKind kLinearizationProcess = 2;
+inline constexpr ProcessKind kFingerProcess = 3;
+
 /// A protocol node.  Actions are atomic: the engine never interleaves two
 /// callbacks.  `on_message` is the receive action, `on_regular` the
 /// always-enabled regular action (Algorithm 1's two actions).
@@ -56,6 +68,15 @@ class Process {
   virtual Id id() const noexcept = 0;
   virtual void on_message(Context& ctx, const Message& message) = 0;
   virtual void on_regular(Context& ctx) = 0;
+
+  ProcessKind kind() const noexcept { return kind_; }
+
+ protected:
+  Process() = default;
+  explicit Process(ProcessKind kind) noexcept : kind_(kind) {}
+
+ private:
+  const ProcessKind kind_ = kUntaggedProcess;
 };
 
 struct EngineConfig {
@@ -127,8 +148,15 @@ class Engine {
   Process* find(Id id) noexcept;
   const Process* find(Id id) const noexcept;
 
-  /// All process identifiers in ascending order (index_ is an ordered map).
+  /// All process identifiers in ascending order.  Allocates a fresh vector;
+  /// per-round loops should prefer id_span().
   std::vector<Id> ids() const;
+
+  /// All process identifiers in ascending order, as an allocation-free view
+  /// over the engine's incrementally maintained sorted order.  Invalidated
+  /// by add_process/remove_process (take it fresh after membership changes;
+  /// do not hold it across a join/leave).
+  std::span<const Id> id_span() const noexcept { return ids_sorted_; }
 
   /// Applies `fn` to every process in ascending identifier order.
   void for_each(const std::function<void(const Process&)>& fn) const;
@@ -258,6 +286,10 @@ class Engine {
   // across platforms, stdlibs, and join/leave histories that reach the same
   // state.
   std::vector<std::size_t> order_;
+  // Live identifiers, ascending: ids_sorted_[rank] == slots_[order_[rank]]'s
+  // id.  Maintained by the same sorted insert/erase as order_, so id_span()
+  // hands out the canonical order without allocating.
+  std::vector<Id> ids_sorted_;
   // Pending messages per order_-rank, Fenwick-indexed: the async scheduler
   // finds the pick-th pending message by binary descent in O(log n).
   util::Fenwick pending_by_rank_;

@@ -30,7 +30,7 @@ using namespace sssw;
 
 namespace {
 
-int replay(const std::string& path) {
+int replay(const std::string& path, bool paranoid) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -38,11 +38,14 @@ int replay(const std::string& path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const auto repro = analysis::parse_repro(buffer.str());
+  auto repro = analysis::parse_repro(buffer.str());
   if (!repro) {
     std::fprintf(stderr, "%s: not a valid reproducer\n", path.c_str());
     return 2;
   }
+  // Paranoia is a runtime knob, not part of the recorded case: it cannot
+  // change the verdict, only abort if the tracker and oracle disagree.
+  repro->options.paranoid = paranoid;
   const analysis::FuzzVerdict verdict = analysis::run_case(repro->c, repro->options);
   const bool match = verdict == repro->expected;
   std::printf("%s: %s (oracle %s, %llu rounds, digest %llu) — %s\n", path.c_str(),
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   std::string invert_name;
   bool no_shrink = false;
   bool emit_all = false;
+  bool paranoid = false;
   util::Cli cli("convergence fuzzer for the self-stabilizing small-world protocol");
   cli.flag("trials", "number of fuzz cases to run", &trials);
   cli.flag("seed", "master seed for case sampling", &seed);
@@ -79,15 +83,20 @@ int main(int argc, char** argv) {
   cli.flag("emit-all",
            "also write a reproducer for every passing trial (corpus building)",
            &emit_all);
+  cli.flag("paranoid",
+           "cross-check the incremental invariant tracker against the "
+           "recompute oracle on every round (aborts on divergence)",
+           &paranoid);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
-  if (!replay_path.empty()) return replay(replay_path);
+  if (!replay_path.empty()) return replay(replay_path, paranoid);
 
   if (trials <= 0 || max_n < 4) {
     std::fprintf(stderr, "--trials must be positive and --max-n at least 4\n");
     return 2;
   }
   analysis::FuzzOptions options;
+  options.paranoid = paranoid;
   if (!invert_name.empty()) {
     const auto oracle = analysis::oracle_from_string(invert_name);
     if (!oracle) {
