@@ -112,6 +112,49 @@ void BM_Churn_CrashHeal(benchmark::State& state) {
 BENCHMARK(BM_Churn_CrashHeal)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 
+void BM_Churn_LeaveVsCrash(benchmark::State& state) {
+  // ISSUE 5 satellite: same stabilized network, same victim — repair rounds
+  // for a detected leave() (the paper's §IV.G fail-stop, neighbours learn
+  // instantly) against a crash-stop healed by the active probe/ack detector.
+  // The delta is the detection latency the probe/ack round-trips cost.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double leave_sum = 0, crash_sum = 0, leave_healed = 0, crash_healed = 0;
+  constexpr int kTrials = 4;
+  for (auto _ : state) {
+    leave_sum = crash_sum = leave_healed = crash_healed = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const std::uint64_t seed = bench::kBaseSeed + n + trial;
+      for (const bool use_crash : {false, true}) {
+        core::Config config;
+        config.detector.enabled = use_crash;  // leave needs no detection
+        core::SmallWorldNetwork network = bench::stabilized(n, seed, 4 * n, config);
+        util::Rng rng(seed ^ 0x6c766373ull);  // same victim both ways
+        const auto ids = network.engine().ids();
+        const sim::Id victim = ids[rng.below(ids.size())];
+        if (use_crash)
+          network.crash(victim);
+        else
+          network.leave(victim);
+        const auto rounds = network.run_until_sorted_ring(400 * n + 4000);
+        if (!rounds.has_value()) continue;
+        (use_crash ? crash_healed : leave_healed) += 1.0;
+        (use_crash ? crash_sum : leave_sum) += static_cast<double>(*rounds);
+      }
+    }
+  }
+  const double leave_mean = leave_healed > 0 ? leave_sum / leave_healed : -1.0;
+  const double crash_mean = crash_healed > 0 ? crash_sum / crash_healed : -1.0;
+  state.counters["leave_rounds_mean"] = leave_mean;
+  state.counters["crash_rounds_mean"] = crash_mean;
+  state.counters["detection_latency"] =
+      leave_mean >= 0 && crash_mean >= 0 ? crash_mean - leave_mean : -1.0;
+  state.counters["leave_healed"] = leave_healed / kTrials;
+  state.counters["crash_healed"] = crash_healed / kTrials;
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Churn_LeaveVsCrash)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

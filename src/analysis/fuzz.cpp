@@ -19,7 +19,12 @@ constexpr FuzzOracle kAllOracles[] = {
     FuzzOracle::kLrlsResolve,
     FuzzOracle::kConnectivity,
     FuzzOracle::kEventualRing,
+    FuzzOracle::kCrashRecovery,
 };
+
+bool has_crash_schedule(const FuzzCase& c) {
+  return c.crash_frac > 0.0 && c.crash_round > 0;
+}
 
 constexpr core::Phase kAllPhases[] = {
     core::Phase::kDisconnected, core::Phase::kWeaklyConnected,
@@ -39,6 +44,8 @@ const char* to_string(FuzzOracle oracle) noexcept {
       return "connectivity";
     case FuzzOracle::kEventualRing:
       return "eventual-ring";
+    case FuzzOracle::kCrashRecovery:
+      return "crash-recovery";
   }
   return "unknown";
 }
@@ -62,6 +69,28 @@ std::uint64_t round_bound(const FuzzCase& c) {
   bound *= latency;
   if (c.faults.partition_rounds > 0)
     bound += c.faults.partition_start + c.faults.partition_rounds;
+  // The additions below only fire on the new loss/crash dimensions, so
+  // every pre-existing corpus case keeps its exact bound (and therefore its
+  // recorded digest).
+  if (c.message_loss > 0.0) {
+    // Loss only delays: pointers persist and SENDID re-announces every
+    // round, so doubling the budget covers the retransmission tax at the
+    // grid's loss rates.
+    bound *= 2;
+  }
+  if (has_crash_schedule(c)) {
+    // Detect + repair budget: one eviction takes (threshold + retries +
+    // the backoff cooldowns) probe ticks; re-linking can chain through
+    // further dead ids, so grant one eviction cycle per node plus a full
+    // fresh convergence run after the crash round.
+    const core::DetectorConfig& d = c.protocol.detector;
+    const std::uint64_t evict_latency =
+        (static_cast<std::uint64_t>(d.suspect_threshold) + d.max_retries +
+         (2ull << d.max_retries)) *
+        d.probe_period;
+    bound += c.crash_round + evict_latency * c.n +
+             400 * static_cast<std::uint64_t>(c.n) + 4000;
+  }
   return bound;
 }
 
@@ -101,6 +130,20 @@ FuzzCase sample_case(util::Rng& rng, std::size_t max_n) {
   c.protocol.epsilon = kEpsilonGrid[rng.below(std::size(kEpsilonGrid))];
   c.protocol.probe_interval = 1 + static_cast<std::uint32_t>(rng.below(3));
   c.protocol.lrl_count = 1 + static_cast<std::uint32_t>(rng.below(2));
+
+  static constexpr double kLossGrid[] = {0.02, 0.05};
+  static constexpr double kCrashGrid[] = {0.1, 0.25};
+  if (rng.bernoulli(0.2)) {
+    c.message_loss = kLossGrid[rng.below(std::size(kLossGrid))];
+  }
+  if (rng.bernoulli(0.25)) {
+    // Crashes are only recoverable with the active detector, so sampled
+    // crash cases always enable it; detector-off wedging is pinned by a
+    // dedicated regression test, not hunted by the fuzzer.
+    c.crash_frac = kCrashGrid[rng.below(std::size(kCrashGrid))];
+    c.crash_round = 4 + rng.below(32);
+    c.protocol.detector.enabled = true;
+  }
   return c;
 }
 
@@ -139,10 +182,29 @@ core::SmallWorldNetwork build_network(const FuzzCase& c, bool paranoid) {
   options.seed = c.seed;
   options.faults = c.faults;
   options.adversary_delay = c.adversary_delay;
+  options.message_loss = c.message_loss;
   options.verify_tracker = paranoid;
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(c.shape, std::move(ids), rng));
   return net;
+}
+
+/// The deterministic crash pick: a dedicated stream off the case seed (the
+/// engine's stream must stay untouched so detector-off crash cases keep the
+/// pre-crash trajectory byte-identical to their crash-free twin), choosing
+/// `crash_frac * n` live ids, at least 1, never more than survivors − 2.
+std::vector<sim::Id> pick_crash_ids(const FuzzCase& c, const sim::Engine& engine) {
+  std::vector<sim::Id> live(engine.id_span().begin(), engine.id_span().end());
+  if (live.size() < 3) return {};
+  std::size_t count = static_cast<std::size_t>(c.crash_frac * static_cast<double>(live.size()));
+  count = std::clamp<std::size_t>(count, 1, live.size() - 2);
+  util::Rng rng(c.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.below(live.size() - i);
+    std::swap(live[i], live[j]);
+  }
+  live.resize(count);
+  return live;
 }
 
 }  // namespace
@@ -153,11 +215,18 @@ FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
   const sim::Engine& engine = net.engine();
 
   const bool has_partition = c.faults.partition_rounds > 0;
+  const bool has_loss = c.message_loss > 0.0;
+  const bool has_crash = has_crash_schedule(c);
+  const bool detector_on = c.protocol.detector.enabled;
   // Phase observations only move monotonically when rounds are the paper's
-  // synchronous rounds and the channel is honest; async interleavings and
-  // injected duplicates/delays can legitimately bounce the detector.
-  const bool check_monotone =
-      c.scheduler == sim::SchedulerKind::kSynchronous && !c.faults.active();
+  // synchronous rounds and the channel is honest; async interleavings,
+  // injected duplicates/delays, lost messages, and crashes can all
+  // legitimately bounce the detector.
+  const bool check_monotone = c.scheduler == sim::SchedulerKind::kSynchronous &&
+                              !c.faults.active() && !has_loss && !has_crash;
+  // Loss can destroy the only reference to a subtree exactly like a
+  // partition-crossing drop, so connectivity is only demanded without it.
+  const bool check_connectivity = !has_partition && !has_loss;
 
   bool violated = false;
   FuzzOracle oracle = FuzzOracle::kEventualRing;
@@ -170,24 +239,41 @@ FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
 
   const std::uint64_t bound = round_bound(c);
   core::Phase best_phase = net.phase();
+  bool crashed = false;
   for (std::uint64_t round = 1; round <= bound && !violated; ++round) {
+    if (has_crash && !crashed && round == c.crash_round) {
+      for (const sim::Id id : pick_crash_ids(c, engine)) net.crash(id);
+      crashed = true;
+    }
     net.run_rounds(1);
     const core::Phase phase = net.phase();
     if (check_monotone && phase < best_phase) fail(FuzzOracle::kPhaseMonotone, round);
     if (phase > best_phase) best_phase = phase;
-    if (!violated && !net.lrls_resolve())
+    // After a crash, links at the dead ids are the *expected* damage (the
+    // detector resolves them over time), so lrls-resolve only binds before.
+    if (!violated && !crashed && !net.lrls_resolve())
       fail(FuzzOracle::kLrlsResolve, round);
-    if (!violated && !has_partition && !core::cc_weakly_connected(engine))
+    if (!violated && check_connectivity && !crashed &&
+        !core::cc_weakly_connected(engine))
       fail(FuzzOracle::kConnectivity, round);
-    if (!violated && net.sorted_ring()) break;
+    if (!violated && net.sorted_ring() && (!has_crash || crashed)) break;
   }
 
   if (!violated && !net.sorted_ring()) {
-    // With a partition the theorem's precondition (weak connectivity) may
-    // have been destroyed — then non-convergence is the expected outcome,
-    // exactly as with message loss in ablation A4.
-    if (!has_partition || core::cc_weakly_connected(engine))
+    if (crashed) {
+      // Survivors must re-converge only when something can detect the
+      // crash (the active detector) and the crash/loss/partition left them
+      // weakly connected; without the detector the wedge is the expected
+      // outcome (Network::crash's documented contract).
+      if (detector_on && core::cc_weakly_connected(engine))
+        fail(FuzzOracle::kCrashRecovery, engine.round());
+    } else if ((!has_partition && !has_loss) ||
+               core::cc_weakly_connected(engine)) {
+      // With a partition or loss the theorem's precondition (weak
+      // connectivity) may have been destroyed — then non-convergence is
+      // the expected outcome, exactly as with message loss in ablation A4.
       fail(FuzzOracle::kEventualRing, engine.round());
+    }
   }
 
   if (options.invert) {
@@ -236,6 +322,14 @@ FuzzCase shrink_case(const FuzzCase& failing, const FuzzOptions& options,
       [](FuzzCase& c) {
         c.faults.replay_probability = 0.0;
         c.faults.replay_history = 0;
+      },
+      [](FuzzCase& c) { c.message_loss = 0.0; },
+      [](FuzzCase& c) {  // drop the crash schedule entirely...
+        c.crash_frac = 0.0;
+        c.crash_round = 0;
+      },
+      [](FuzzCase& c) {  // ...or crash earlier (smaller prefix to replay)
+        if (c.crash_round > 1) c.crash_round /= 2;
       },
       [](FuzzCase& c) {  // drop the partition entirely...
         c.faults.partition_start = 0;
@@ -431,6 +525,15 @@ std::string to_json(const FuzzRepro& repro) {
   boolean("move_and_forget_enabled", c.protocol.move_and_forget_enabled);
   num("lrl_count", c.protocol.lrl_count);
   num("failure_timeout", c.protocol.failure_timeout);
+  num("message_loss", c.message_loss);
+  num("crash_frac", c.crash_frac);
+  num("crash_round", c.crash_round);
+  boolean("detector_enabled", c.protocol.detector.enabled);
+  num("probe_period", c.protocol.detector.probe_period);
+  num("suspect_threshold", c.protocol.detector.suspect_threshold);
+  num("detector_max_retries", c.protocol.detector.max_retries);
+  num("quarantine_rounds", c.protocol.detector.quarantine_rounds);
+  num("quarantine_capacity", c.protocol.detector.quarantine_capacity);
   if (repro.options.invert) str("invert", to_string(*repro.options.invert));
   boolean("expect_ok", repro.expected.ok);
   if (!repro.expected.ok) {
@@ -514,6 +617,19 @@ std::optional<FuzzRepro> parse_repro(const std::string& json) {
       ok = parse_bool(v, c.protocol.move_and_forget_enabled);
     else if (k == "lrl_count") ok = parse_int(v, c.protocol.lrl_count);
     else if (k == "failure_timeout") ok = parse_int(v, c.protocol.failure_timeout);
+    else if (k == "message_loss") ok = parse_double(v, c.message_loss);
+    else if (k == "crash_frac") ok = parse_double(v, c.crash_frac);
+    else if (k == "crash_round") ok = parse_int(v, c.crash_round);
+    else if (k == "detector_enabled") ok = parse_bool(v, c.protocol.detector.enabled);
+    else if (k == "probe_period") ok = parse_int(v, c.protocol.detector.probe_period);
+    else if (k == "suspect_threshold")
+      ok = parse_int(v, c.protocol.detector.suspect_threshold);
+    else if (k == "detector_max_retries")
+      ok = parse_int(v, c.protocol.detector.max_retries);
+    else if (k == "quarantine_rounds")
+      ok = parse_int(v, c.protocol.detector.quarantine_rounds);
+    else if (k == "quarantine_capacity")
+      ok = parse_int(v, c.protocol.detector.quarantine_capacity);
     else if (k == "expect_ok") { ok = parse_bool(v, repro.expected.ok); saw_ok = ok; }
     else if (k == "expect_violation_round") ok = parse_int(v, repro.expected.violation_round);
     else if (k == "expect_rounds_run") ok = parse_int(v, repro.expected.rounds_run);

@@ -42,10 +42,18 @@ enum class FuzzOracle : std::uint8_t {
   /// Skipped when a partition is configured: a crossing drop can destroy
   /// the only reference to a subtree, exactly like message loss in A4.
   kConnectivity,
-  /// The sorted ring forms within the round bound.  With a partition, only
-  /// required if CC is still weakly connected after the window (the
-  /// theorem's precondition survived the adversary).
+  /// The sorted ring forms within the round bound.  With a partition or
+  /// message loss, only required if CC is still weakly connected after the
+  /// window (the theorem's precondition survived the adversary).  Not
+  /// checked on crash cases — kCrashRecovery owns those.
   kEventualRing,
+  /// After the crash round, the survivors re-converge to the sorted ring
+  /// over the remaining ids within the bound.  Only sound when the active
+  /// failure detector is enabled (without it the wedge is the *expected*
+  /// outcome — see Network::crash) and the survivors are still weakly
+  /// connected at the bound (crash + loss + partition can legitimately
+  /// sever them).
+  kCrashRecovery,
 };
 
 const char* to_string(FuzzOracle oracle) noexcept;
@@ -60,6 +68,16 @@ struct FuzzCase {
   std::uint32_t adversary_delay = 3;
   core::Config protocol{};
   std::uint64_t seed = 1;
+  /// Per-message loss probability (NetworkOptions::message_loss).
+  double message_loss = 0.0;
+  /// Crash-stop schedule: before round `crash_round` is run, a deterministic
+  /// `crash_frac` fraction of the live nodes (at least 1, at most n − 2)
+  /// vanishes with stale pointers left behind.  Inactive unless both are
+  /// positive.  Sampled cases always pair crashes with the active detector
+  /// (protocol.detector.enabled) — without it recovery is not expected and
+  /// no oracle demands it.
+  double crash_frac = 0.0;
+  std::uint64_t crash_round = 0;
 
   bool operator==(const FuzzCase&) const = default;
 };

@@ -9,6 +9,42 @@
 
 namespace sssw::core {
 
+/// Active failure detector (probe/ack liveness over stored pointers).
+///
+/// Disabled by default: with `enabled == false` no node allocates a
+/// detector, no timer is ever armed and the send path is byte-identical to
+/// the detector-less build (same contract as an inactive sim::FaultPlan).
+/// With it on, each node pings every finite stored pointer (l, r, ring and
+/// each lrl target) every `probe_period` rounds; `suspect_threshold`
+/// consecutive unanswered pings mark the target suspected, after which up to
+/// `max_retries` pings with exponential backoff are granted before the
+/// target is evicted: quarantined for `quarantine_rounds`, purged from every
+/// pointer slot and the gap re-linked through the last (l, r) view the
+/// target ever reported in a pong.  Quarantine keeps stale or replayed
+/// messages from re-introducing the dead identifier.
+///
+/// Do not combine with the legacy `failure_timeout` detector: a passive
+/// reset clears the stale pointer before the active eviction fires, the
+/// monitor sees a pointer change and goes idle, and the re-link through the
+/// dead node's last reported view never happens — the gap stays severed.
+///
+/// `suspect_threshold * probe_period` must sit comfortably above the worst
+/// scheduler round-trip (adversarial-oldest-last at default hold 3 is 8
+/// rounds — and timers fire *before* a round's deliveries, so a pong
+/// arriving "in time" still trails the tick that would have counted it);
+/// the defaults give 16 rounds of silence before suspicion and ~52 before
+/// eviction, so no deterministic scheduler ever suspects a live neighbour.
+struct DetectorConfig {
+  bool enabled = false;
+  std::uint32_t probe_period = 4;       ///< rounds between probe ticks (>= 1)
+  std::uint32_t suspect_threshold = 4;  ///< missed acks before suspicion (>= 1)
+  std::uint32_t max_retries = 2;        ///< backoff retries granted after suspicion
+  std::uint32_t quarantine_rounds = 64; ///< rounds an evicted id stays blacklisted
+  std::uint32_t quarantine_capacity = 32;  ///< dead ids remembered (FIFO beyond)
+
+  bool operator==(const DetectorConfig&) const = default;
+};
+
 struct Config {
   /// ε in the forget probability φ(α) and in the O(ln^{2+ε} n) bounds.
   double epsilon = 0.1;
@@ -49,6 +85,15 @@ struct Config {
   /// Choose T comfortably above the message round-trip (≥ 8) so live links
   /// are never dropped in the stable state.
   std::uint32_t failure_timeout = 0;
+
+  /// Active probe/ack failure detector (extension; defaults off = paper
+  /// semantics).  Unlike `failure_timeout`, which passively counts silence
+  /// on traffic the protocol happens to generate, the detector sends its
+  /// own ping/pong round-trips on a deterministic timer, so it detects
+  /// crashes even in the stable state where no protocol traffic flows, and
+  /// its evictions actively re-link the gap through the dead node's last
+  /// reported neighbour view.  See DetectorConfig and doc/FAULTS.md.
+  DetectorConfig detector{};
 
   bool operator==(const Config&) const = default;
 };

@@ -15,7 +15,9 @@ enum MsgType : sim::MessageType {
   kResring = 4, ///< response to ring: a better ring-edge endpoint candidate
   kProbr = 5,   ///< rightward probing message, payload is the probe target
   kProbl = 6,   ///< leftward probing message, payload is the probe target
-  kNumMsgTypes = 7
+  kPing = 7,    ///< liveness probe from the active failure detector (id1 = prober)
+  kPong = 8,    ///< ping reply: (id1, id2) = responder's (l, r) view, id3 = responder
+  kNumMsgTypes = 9
 };
 
 const char* msg_type_name(sim::MessageType type) noexcept;

@@ -46,14 +46,25 @@ void SmallWorldNetwork::attach_metrics(obs::Registry& registry) {
   obs::Gauge& ring_closed = registry.gauge("invariants.ring-closed");
   obs::Gauge& forgot = registry.gauge("invariants.forgot-nodes");
   obs::Gauge& unresolved = registry.gauge("invariants.unresolved-lrls");
+  obs::Gauge& quarantined = registry.gauge("node.detector.quarantined");
   InvariantTracker* tracker = tracker_.get();
-  invariant_hook_ = engine_.add_round_hook([=, &sorted_pairs, &ring_closed,
-                                            &forgot,
-                                            &unresolved](std::uint64_t) {
+  // The quarantine gauge is registered unconditionally (the catalog is
+  // config-independent) but only summed — an O(n) walk — when the active
+  // detector is on; disabled runs pay nothing beyond the branch.
+  const bool detector_on = options_.protocol.detector.enabled;
+  invariant_hook_ = engine_.add_round_hook([=, this, &sorted_pairs,
+                                            &ring_closed, &forgot, &unresolved,
+                                            &quarantined](std::uint64_t) {
     sorted_pairs.set(static_cast<double>(tracker->sorted_pairs()));
     ring_closed.set(tracker->sorted_ring() ? 1.0 : 0.0);
     forgot.set(static_cast<double>(tracker->forgot_nodes()));
     unresolved.set(static_cast<double>(tracker->unresolved_links()));
+    if (detector_on) {
+      std::size_t total = 0;
+      for (const Id id : engine_.id_span())
+        if (const SmallWorldNode* n = node(id)) total += n->quarantined_count();
+      quarantined.set(static_cast<double>(total));
+    }
   });
 }
 

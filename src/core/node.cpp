@@ -29,6 +29,10 @@ const char* msg_type_name(sim::MessageType type) noexcept {
       return "probr";
     case kProbl:
       return "probl";
+    case kPing:
+      return "ping";
+    case kPong:
+      return "pong";
     default:
       return "?";
   }
@@ -48,6 +52,11 @@ SmallWorldNode::SmallWorldNode(const NodeInit& init, const Config& config)
   lrls_.resize(config_.lrl_count);
   lrls_.front().target = init.lrl;  // the paper's single p.lrl
   for (std::size_t i = 1; i < lrls_.size(); ++i) lrls_[i].target = id_;
+  if (config_.detector.enabled) {
+    detector_ = std::make_unique<FailureDetector>(id_, config_.detector,
+                                                  config_.lrl_count);
+    pointer_scratch_.resize(FailureDetector::kRoleLrlBase + config_.lrl_count);
+  }
 }
 
 void SmallWorldNode::send(sim::Context& ctx, Id to, sim::MessageType type, Id id1,
@@ -130,6 +139,7 @@ Id SmallWorldNode::max_lrl() const noexcept {
 // ---------------------------------------------------------------------------
 
 void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
+  now_ = ctx.round();
   // Heartbeats for the failure detector: a neighbour's lin announcement, a
   // reslrl response from a link endpoint, a resring from the ring walk.
   if (m.type == kLin) {
@@ -167,6 +177,31 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
     case kProbl:
       probing_l(ctx, m.id1);
       break;
+    case kPing:
+      // Unconditional reply = detector completeness: a live node always
+      // answers, whatever its own protocol state.  The pong carries this
+      // node's (l, r) view (possibly ±∞ — ctx.send directly, the sentinel-
+      // suppressing send() would drop it) so the prober can re-link through
+      // it if this node later crashes.  A ping from a quarantined id is the
+      // one exception: answering would hand the dead id fresh pointers.
+      // Mere *suspicion* must NOT silence the reply, though — a suspected
+      // prober that is in fact alive needs this pong to clear the suspicion
+      // on its own side; refusing would turn any transient one-sided
+      // suspicion (a lost pong, an unlucky tick) mutual and self-fulfilling,
+      // and under message loss both sides end up evicting a live neighbour.
+      if (config_.detector.enabled && is_node_id(m.id1) &&
+          !is_suspected(m.id1) &&
+          !(detector_ != nullptr && detector_->is_quarantined(m.id1, now_))) {
+        ctx.send(m.id1, sim::Message{kPong, l_, r_, id_});
+        if (metrics_ != nullptr) metrics_->detector_acks.add(1);
+      }
+      break;
+    case kPong:
+      if (detector_ != nullptr) {
+        detector_->on_pong(m.id3, m.id1, m.id2);
+        if (metrics_ != nullptr) metrics_->detector_pongs.add(1);
+      }
+      break;
     default:
       break;  // unknown types are ignored (self-stabilization: garbage in channels)
   }
@@ -189,6 +224,84 @@ bool SmallWorldNode::is_suspected(Id id) const noexcept {
   for (const auto& entry : suspects_)
     if (entry.first == id && entry.second > detector_ticks_) return true;
   return false;
+}
+
+bool SmallWorldNode::is_dead(Id id) const noexcept {
+  if (!is_node_id(id) || id == id_) return false;
+  if (is_suspected(id)) return true;
+  if (detector_ == nullptr) return false;
+  if (detector_->is_quarantined(id, now_) || detector_->is_suspect(id)) {
+    if (metrics_ != nullptr) metrics_->detector_quarantine_hits.add(1);
+    return true;
+  }
+  return false;
+}
+
+std::size_t SmallWorldNode::quarantined_count() const noexcept {
+  return detector_ != nullptr ? detector_->quarantined_count(now_) : 0;
+}
+
+void SmallWorldNode::apply_eviction(sim::Context& ctx,
+                                    const FailureDetector::Eviction& ev) {
+  const Id target = ev.target;
+  // Purge every slot still holding the dead id, not just the role that
+  // crossed the threshold — the id is quarantined now, so the other slots'
+  // monitors could only rediscover the same verdict more slowly.
+  if (l_ == target) {
+    l_ = kNegInf;
+    silence_l_ = 0;
+    notify_list();
+  }
+  if (r_ == target) {
+    r_ = kPosInf;
+    silence_r_ = 0;
+    notify_list();
+  }
+  if (ring_ == target) {
+    ring_ = id_;
+    silence_ring_ = 0;
+  }
+  reset_lrls_matching(target);
+  if (metrics_ != nullptr) metrics_->detector_evictions.add(1);
+  // Re-link through the dead node's last reported (l, r) view: linearize
+  // integrates each survivor into this node's own neighbourhood, closing
+  // the line over the gap.  Views predating the crash are fine — the ids
+  // in them were live neighbours of the dead node, which is exactly who
+  // this node must now meet.
+  if (is_node_id(ev.via_l) && ev.via_l != id_ && !is_dead(ev.via_l)) {
+    linearize(ctx, ev.via_l);
+  }
+  if (is_node_id(ev.via_r) && ev.via_r != id_ && !is_dead(ev.via_r)) {
+    linearize(ctx, ev.via_r);
+  }
+  tidy_ring();
+}
+
+void SmallWorldNode::on_timer(sim::Context& ctx, std::uint64_t tag) {
+  if (tag != FailureDetector::kProbeTimerTag || detector_ == nullptr) return;
+  now_ = ctx.round();
+  // Re-arm first: the probe clock must keep beating even if an eviction
+  // below throws the node into repair.
+  ctx.schedule_timer(config_.detector.probe_period,
+                     FailureDetector::kProbeTimerTag);
+  pointer_scratch_[FailureDetector::kRoleL] = l_;
+  pointer_scratch_[FailureDetector::kRoleR] = r_;
+  pointer_scratch_[FailureDetector::kRoleRing] = ring_;
+  for (std::size_t i = 0; i < lrls_.size(); ++i) {
+    pointer_scratch_[FailureDetector::kRoleLrlBase + i] = lrls_[i].target;
+  }
+  detector_->tick(now_, pointer_scratch_);
+  for (const FailureDetector::Probe& probe : detector_->probes()) {
+    ctx.send(probe.target, sim::Message{kPing, id_});
+    if (metrics_ != nullptr) {
+      metrics_->detector_probes.add(1);
+      if (probe.retry) metrics_->detector_retries.add(1);
+      if (probe.suspect) metrics_->detector_suspects.add(1);
+    }
+  }
+  for (const FailureDetector::Eviction& ev : detector_->evictions()) {
+    apply_eviction(ctx, ev);
+  }
 }
 
 void SmallWorldNode::tick_failure_detector() {
@@ -236,6 +349,14 @@ void SmallWorldNode::tick_failure_detector() {
 }
 
 void SmallWorldNode::on_regular(sim::Context& ctx) {
+  now_ = ctx.round();
+  if (detector_ != nullptr && !probe_timer_armed_) {
+    // Armed lazily on the first regular action rather than at construction:
+    // a Process only gains a Context once it is registered with an engine.
+    ctx.schedule_timer(config_.detector.probe_period,
+                       FailureDetector::kProbeTimerTag);
+    probe_timer_armed_ = true;
+  }
   tick_failure_detector();
   send_id(ctx);
   if (config_.probing_enabled) {
@@ -255,7 +376,7 @@ void SmallWorldNode::on_regular(sim::Context& ctx) {
 
 void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
   if (!is_node_id(id)) return;
-  if (is_suspected(id)) return;  // quarantined: neither adopt nor spread
+  if (is_dead(id)) return;  // quarantined: neither adopt nor spread
   if (id > id_) {
     if (id < r_) {
       if (r_ < kPosInf) send(ctx, id, kLin, r_);
@@ -325,8 +446,8 @@ void SmallWorldNode::respond_lrl(sim::Context& ctx, Id origin) {
 void SmallWorldNode::move_forget(sim::Context& ctx, Id id1, Id id2, Id responder) {
   LongRangeLink* link = link_for_response(responder);
   if (link == nullptr) return;  // multi-link: response for a departed target
-  const bool left_ok = is_node_id(id1) && !is_suspected(id1);
-  const bool right_ok = is_node_id(id2) && !is_suspected(id2);
+  const bool left_ok = is_node_id(id1) && !is_dead(id1);
+  const bool right_ok = is_node_id(id2) && !is_dead(id2);
   if (left_ok && right_ok) {
     link->target = ctx.rng().coin() ? id1 : id2;  // each with probability 1/2
   } else if (left_ok) {
@@ -358,7 +479,7 @@ void SmallWorldNode::move_forget(sim::Context& ctx, Id id1, Id id2, Id responder
 // ---------------------------------------------------------------------------
 
 void SmallWorldNode::probing_r(sim::Context& ctx, Id target) {
-  if (!is_node_id(target) || is_suspected(target)) return;
+  if (!is_node_id(target) || is_dead(target)) return;
   const Id shortcut = best_right_shortcut(target);
   if (is_node_id(shortcut)) {
     send(ctx, shortcut, kProbr, target);
@@ -377,7 +498,7 @@ void SmallWorldNode::probing_r(sim::Context& ctx, Id target) {
 // ---------------------------------------------------------------------------
 
 void SmallWorldNode::probing_l(sim::Context& ctx, Id target) {
-  if (!is_node_id(target) || is_suspected(target)) return;
+  if (!is_node_id(target) || is_dead(target)) return;
   const Id shortcut = best_left_shortcut(target);
   if (is_node_id(shortcut)) {
     send(ctx, shortcut, kProbl, target);
@@ -431,7 +552,7 @@ void SmallWorldNode::respond_ring(sim::Context& ctx, Id origin) {
 // ---------------------------------------------------------------------------
 
 void SmallWorldNode::update_ring(Id candidate) {
-  if (!is_node_id(candidate) || is_suspected(candidate)) return;
+  if (!is_node_id(candidate) || is_dead(candidate)) return;
   if (l_ == kNegInf) {
     if (candidate > ring_) {
       ring_ = candidate;

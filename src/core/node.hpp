@@ -17,7 +17,10 @@
 // identifiers.
 #pragma once
 
+#include <memory>
+
 #include "core/config.hpp"
+#include "core/detector.hpp"
 #include "core/forget.hpp"
 #include "core/messages.hpp"
 #include "sim/engine.hpp"
@@ -50,6 +53,9 @@ class SmallWorldNode final : public sim::Process {
   sim::Id id() const noexcept override { return id_; }
   void on_message(sim::Context& ctx, const sim::Message& message) override;
   void on_regular(sim::Context& ctx) override;
+  /// Probe tick of the active failure detector (config.detector.enabled);
+  /// never fires otherwise — the timer is only armed when a detector exists.
+  void on_timer(sim::Context& ctx, std::uint64_t tag) override;
 
   /// One long-range link: the endpoint of its token's walk plus its age.
   struct LongRangeLink {
@@ -72,6 +78,11 @@ class SmallWorldNode final : public sim::Process {
   /// True when this node stores a ring edge per the paper's rule
   /// ("only set if p.l = −∞ or p.r = ∞") and it is not the inert self-link.
   bool has_ring_edge() const noexcept;
+
+  /// Ids currently on the active detector's dead-id quarantine list (0
+  /// when the detector is disabled); feeds the node.detector.quarantined
+  /// gauge.
+  std::size_t quarantined_count() const noexcept;
 
   /// Number of times this node's long-range link was forgotten (reset).
   std::uint64_t forget_count() const noexcept { return forgets_; }
@@ -151,6 +162,18 @@ class SmallWorldNode final : public sim::Process {
   void suspect(sim::Id id);
   bool is_suspected(sim::Id id) const noexcept;
 
+  /// Unified dead-id filter for the adoption/spread sites: true if `id` is
+  /// quarantined by either detector (the legacy silence-based one above or
+  /// the active probe/ack detector) or suspected by the active detector's
+  /// missed-ack state.  Counts node.detector.quarantine.hits when the
+  /// active detector is the reason.
+  bool is_dead(sim::Id id) const noexcept;
+
+  /// Applies one detector eviction: purges `target` from every pointer slot
+  /// it still occupies, then re-links toward the dead node's last reported
+  /// (l, r) view so the survivors' line re-closes around the gap.
+  void apply_eviction(sim::Context& ctx, const FailureDetector::Eviction& ev);
+
   // Invariant-tracker notifications, one per mutated aspect; no-ops while
   // detached.  Defined in node.cpp (the tracker is an incomplete type here).
   void notify_list();    ///< after any l_ or r_ write
@@ -189,6 +212,13 @@ class SmallWorldNode final : public sim::Process {
   static constexpr std::size_t kMaxSuspects = 8;
   std::uint64_t detector_ticks_ = 0;
   std::vector<std::pair<sim::Id, std::uint64_t>> suspects_;
+  // Active probe/ack failure detector (config.detector) — null unless
+  // enabled, so the disabled configuration allocates nothing, arms no timer
+  // and keeps the send path byte-identical to the detector-less build.
+  std::unique_ptr<FailureDetector> detector_;
+  bool probe_timer_armed_ = false;
+  std::uint64_t now_ = 0;  ///< last round observed via a Context (quarantine clock)
+  std::vector<sim::Id> pointer_scratch_;  ///< tick() snapshot, canonical order
 };
 
 /// Typed downcast for hot inspection paths: a process-kind check plus a

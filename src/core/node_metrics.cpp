@@ -10,6 +10,14 @@ NodeMetrics::NodeMetrics(obs::Registry& registry)
       lrl_resets(registry.counter("node.lrl.resets")),
       ring_updates(registry.counter("node.ring.updates")),
       detector_timeouts(registry.counter("node.detector.timeouts")),
-      probe_repairs(registry.counter("node.probe.repairs")) {}
+      probe_repairs(registry.counter("node.probe.repairs")),
+      detector_probes(registry.counter("node.detector.probes")),
+      detector_acks(registry.counter("node.detector.acks")),
+      detector_pongs(registry.counter("node.detector.pongs")),
+      detector_suspects(registry.counter("node.detector.suspects")),
+      detector_retries(registry.counter("node.detector.retries")),
+      detector_evictions(registry.counter("node.detector.evictions")),
+      detector_quarantine_hits(
+          registry.counter("node.detector.quarantine.hits")) {}
 
 }  // namespace sssw::core

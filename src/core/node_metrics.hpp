@@ -23,6 +23,14 @@ struct NodeMetrics {
   obs::Counter& ring_updates;         ///< UPDATERING improved a ring edge
   obs::Counter& detector_timeouts;    ///< failure detector dropped a pointer
   obs::Counter& probe_repairs;        ///< probe dead-end repaired via linearize
+  // Active probe/ack detector (config.detector; all zero while disabled).
+  obs::Counter& detector_probes;      ///< pings sent (one per watched pointer per tick)
+  obs::Counter& detector_acks;        ///< pings answered with a pong
+  obs::Counter& detector_pongs;       ///< pongs received (acks that survived the channel)
+  obs::Counter& detector_suspects;    ///< pointers that crossed suspect_threshold
+  obs::Counter& detector_retries;     ///< backoff retry pings after suspicion
+  obs::Counter& detector_evictions;   ///< pointers evicted (dead id quarantined)
+  obs::Counter& detector_quarantine_hits;  ///< adoptions/spreads blocked by the detector
 };
 
 }  // namespace sssw::core

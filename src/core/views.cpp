@@ -44,9 +44,13 @@ std::size_t IdIndex::link_length(Id a, Id b) const {
 
 namespace {
 
-/// Adds (owner → other) if `other` is a live, distinct identifier.
+/// Adds (owner → other) if both ends are live, distinct identifiers.  The
+/// owner side matters too: after a crash-stop (no purge), the fault plan's
+/// hold queue can still carry messages addressed to the dead node, and
+/// for_each_pending reports them with the dead id as the channel owner.
 void add_link(graph::Digraph& g, const IdIndex& index, Id owner, Id other) {
   if (!is_node_id(other) || other == owner) return;
+  if (!index.contains(owner)) return;  // crashed destination: edge died with it
   if (!index.contains(other)) return;  // departed node: dangling link, no vertex
   g.add_edge_unique(index.vertex_of(owner), index.vertex_of(other));
 }

@@ -28,6 +28,10 @@ void Context::send(Id to, const Message& message) {
 util::Rng& Context::rng() { return engine_.rng_; }
 std::uint64_t Context::round() const noexcept { return engine_.counters_.rounds; }
 
+void Context::schedule_timer(std::uint32_t delay, std::uint64_t tag) {
+  engine_.schedule_timer(self_, delay, tag);
+}
+
 Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {
   SSSW_CHECK_MSG(
       config_.delivery_probability > 0.0 && config_.delivery_probability <= 1.0,
@@ -120,8 +124,49 @@ bool Engine::remove_process(Id id, bool purge_references) {
       if (metrics_.dropped) metrics_.dropped->add(purged);
     }
   }
+  // A departed process must not be woken by a stale alarm — and a node that
+  // later re-joins under the same identifier must not inherit one either.
+  for (auto& [due, bucket] : timers_) {
+    const auto removed = std::erase_if(
+        bucket, [id](const Timer& timer) { return timer.id == id; });
+    timer_count_ -= removed;
+  }
   rebuild_schedule_index();
   return true;
+}
+
+void Engine::schedule_timer(Id id, std::uint32_t delay, std::uint64_t tag) {
+  SSSW_CHECK_MSG(delay >= 1, "timers must fire at least one round out");
+  SSSW_CHECK_MSG(index_.contains(id), "cannot arm a timer for an unknown process");
+  timers_[counters_.rounds + delay].push_back(Timer{id, tag});
+  ++timer_count_;
+}
+
+/// Fires every timer due this round, in ascending-id order (stable per id),
+/// before any channel is snapshotted — a timer action's sends land in
+/// channels exactly like sends from last round's actions.  Re-arming from
+/// inside on_timer targets a strictly later round (delay >= 1), so the loop
+/// terminates.  With no timers armed this is one empty-map check: the
+/// pre-timer trajectory is untouched byte for byte.
+void Engine::fire_due_timers() {
+  while (!timers_.empty() && timers_.begin()->first <= counters_.rounds) {
+    due_timers_.swap(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    timer_count_ -= due_timers_.size();
+    std::stable_sort(due_timers_.begin(), due_timers_.end(),
+                     [](const Timer& a, const Timer& b) { return a.id < b.id; });
+    for (const Timer& timer : due_timers_) {
+      const auto it = index_.find(timer.id);
+      if (it == index_.end()) continue;  // process gone: the alarm lapses
+      ++counters_.actions;
+      ++counters_.timers;
+      if (metrics_.actions) metrics_.actions->add();
+      if (metrics_.timers) metrics_.timers->add();
+      Context ctx(*this, timer.id);
+      slots_[it->second].process->on_timer(ctx, timer.tag);
+    }
+    due_timers_.clear();
+  }
 }
 
 Process* Engine::find(Id id) noexcept {
@@ -318,6 +363,7 @@ void Engine::release_due_messages() {
 
 void Engine::run_round() {
   release_due_messages();
+  fire_due_timers();
   switch (config_.scheduler) {
     case SchedulerKind::kSynchronous:
       run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
@@ -384,6 +430,7 @@ void Engine::attach_metrics(obs::Registry& registry) {
   metrics_.delivered = &registry.counter("engine.messages.delivered");
   metrics_.dropped = &registry.counter("engine.messages.dropped");
   metrics_.lost = &registry.counter("engine.messages.lost");
+  metrics_.timers = &registry.counter("engine.timers.fired");
   metrics_.faults_duplicated = &registry.counter("faults.messages.duplicated");
   metrics_.faults_delayed = &registry.counter("faults.messages.delayed");
   metrics_.faults_replayed = &registry.counter("faults.messages.replayed");

@@ -40,6 +40,10 @@ class Context {
   /// Synchronous round counter (also advanced by async steps, see Engine).
   std::uint64_t round() const noexcept;
 
+  /// Arms a timer for the acting process: `on_timer(tag)` fires at the start
+  /// of the round `delay` rounds from now (see Engine::schedule_timer).
+  void schedule_timer(std::uint32_t delay, std::uint64_t tag);
+
  private:
   friend class Engine;
   Context(Engine& engine, Id self) : engine_(engine), self_(self) {}
@@ -68,6 +72,15 @@ class Process {
   virtual Id id() const noexcept = 0;
   virtual void on_message(Context& ctx, const Message& message) = 0;
   virtual void on_regular(Context& ctx) = 0;
+
+  /// Timer action: fires for timers armed via Context::schedule_timer /
+  /// Engine::schedule_timer.  Default is a no-op so protocols without timers
+  /// are untouched.  Like the other actions it is atomic and may send
+  /// messages or re-arm timers.
+  virtual void on_timer(Context& ctx, std::uint64_t tag) {
+    (void)ctx;
+    (void)tag;
+  }
 
   ProcessKind kind() const noexcept { return kind_; }
 
@@ -111,6 +124,7 @@ struct EngineCounters {
   std::uint64_t deliveries = 0;  ///< receive actions executed
   std::uint64_t dropped = 0;     ///< sends to departed/unknown identifiers
   std::uint64_t lost = 0;        ///< sends eaten by the loss model
+  std::uint64_t timers = 0;      ///< timer actions fired (on_timer callbacks)
   FaultCounters faults;          ///< injected-fault events (sim/faults.hpp)
   std::array<std::uint64_t, kMaxMessageTypes> sent_by_type{};
 
@@ -166,6 +180,18 @@ class Engine {
   /// from any state, including garbage in flight).  Returns false if no such
   /// process exists.
   bool inject(Id to, const Message& message);
+
+  /// Arms a timer: process `id` receives `on_timer(tag)` at the start of the
+  /// round `delay` rounds from now (`delay` >= 1), before any message of
+  /// that round is received.  Timers due in the same round fire in ascending
+  /// id order (ties per id in arming order), so trajectories stay a pure
+  /// function of (state, seed) like every other scheduling decision.  Timers
+  /// for a process that has since left or crashed lapse silently; a run that
+  /// never arms a timer is bit-identical to one built before timers existed.
+  void schedule_timer(Id id, std::uint32_t delay, std::uint64_t tag);
+
+  /// Timers currently armed (tests/inspection).
+  std::size_t pending_timers() const noexcept { return timer_count_; }
 
   /// Executes one round under the configured scheduler.
   void run_round();
@@ -251,6 +277,7 @@ class Engine {
     obs::Counter* delivered = nullptr;
     obs::Counter* dropped = nullptr;
     obs::Counter* lost = nullptr;
+    obs::Counter* timers = nullptr;
     obs::Counter* faults_duplicated = nullptr;
     obs::Counter* faults_delayed = nullptr;
     obs::Counter* faults_replayed = nullptr;
@@ -262,6 +289,7 @@ class Engine {
   void send(Id from, Id to, const Message& message);
   void enqueue_or_drop(Id to, const Message& message);
   void release_due_messages();
+  void fire_due_timers();
   void deliver(Slot& slot, const Message& message);
   void run_synchronous_round(ReceiptOrder order, bool shuffle_nodes);
   void run_async_round();
@@ -303,6 +331,15 @@ class Engine {
   std::vector<std::pair<HookId, RoundHook>> round_hooks_;
   std::vector<Message> scratch_;   // drain buffer reused across rounds
   std::vector<std::vector<Message>> arrivals_;  // per-slot round snapshots
+  struct Timer {
+    Id id;
+    std::uint64_t tag;
+  };
+  // Armed timers, keyed by due round; each bucket holds arming order and is
+  // id-sorted (stably) at fire time for the canonical order.
+  std::map<std::uint64_t, std::vector<Timer>> timers_;
+  std::size_t timer_count_ = 0;
+  std::vector<Timer> due_timers_;  // fire_due_timers scratch, reused
 };
 
 }  // namespace sssw::sim

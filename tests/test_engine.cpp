@@ -540,5 +540,128 @@ TEST(Engine, MessagesToRemovedProcessDropped) {
   EXPECT_GE(engine.counters().dropped, 2u);  // subsequent sends dropped
 }
 
+// --- timers ----------------------------------------------------------------
+
+/// Records each on_timer firing as (round, tag); optionally re-arms with the
+/// same delay, or sends a message to a peer from inside the callback.
+class Alarm : public Process {
+ public:
+  explicit Alarm(Id id, std::uint32_t rearm_delay = 0, Id ping_to = kNegInf)
+      : id_(id), rearm_delay_(rearm_delay), ping_to_(ping_to) {}
+
+  Id id() const noexcept override { return id_; }
+  void on_message(Context&, const Message& message) override {
+    received.push_back(message);
+  }
+  void on_regular(Context&) override {}
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    fired.emplace_back(ctx.round(), tag);
+    if (rearm_delay_ > 0) ctx.schedule_timer(rearm_delay_, tag);
+    if (is_node_id(ping_to_)) ctx.send(ping_to_, Message{1, id_});
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fired;
+  std::vector<Message> received;
+
+ private:
+  Id id_;
+  std::uint32_t rearm_delay_;
+  Id ping_to_;
+};
+
+TEST(EngineTimers, FiresAtTheScheduledRoundBeforeDeliveries) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Alarm>(0.5, /*rearm_delay=*/0, /*ping_to=*/0.7));
+  engine.add_process(std::make_unique<Probe>(0.7));
+  engine.schedule_timer(0.5, 3, 42);
+  EXPECT_EQ(engine.pending_timers(), 1u);
+  engine.run_rounds(3);
+  const auto* alarm = dynamic_cast<const Alarm*>(engine.find(0.5));
+  ASSERT_NE(alarm, nullptr);
+  EXPECT_TRUE(alarm->fired.empty());  // due at the round counting 3, not yet
+  engine.run_round();
+  ASSERT_EQ(alarm->fired.size(), 1u);
+  EXPECT_EQ(alarm->fired[0], (std::pair<std::uint64_t, std::uint64_t>{3, 42}));
+  EXPECT_EQ(engine.pending_timers(), 0u);
+  EXPECT_EQ(engine.counters().timers, 1u);
+  // The timer fired before the round's channel snapshot, so its send is
+  // delivered within the same round (synchronous Phase A sees it).
+  const auto* probe = dynamic_cast<const Probe*>(engine.find(0.7));
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->received.size(), 1u);
+}
+
+TEST(EngineTimers, SameRoundTimersFireInAscendingIdOrderTiesInArmingOrder) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Alarm>(0.9));
+  engine.add_process(std::make_unique<Alarm>(0.1));
+  engine.schedule_timer(0.9, 1, 1);  // armed first, higher id
+  engine.schedule_timer(0.1, 1, 2);
+  engine.schedule_timer(0.9, 1, 3);  // second timer for 0.9, same round
+  // Tags are distinct, so the per-process logs reconstruct the global order.
+  engine.run_rounds(2);
+  const auto* low = dynamic_cast<const Alarm*>(engine.find(0.1));
+  const auto* high = dynamic_cast<const Alarm*>(engine.find(0.9));
+  ASSERT_EQ(low->fired.size(), 1u);
+  ASSERT_EQ(high->fired.size(), 2u);
+  EXPECT_EQ(low->fired[0].second, 2u);
+  EXPECT_EQ(high->fired[0].second, 1u);  // arming order within one id
+  EXPECT_EQ(high->fired[1].second, 3u);
+  EXPECT_EQ(engine.counters().timers, 3u);
+}
+
+TEST(EngineTimers, ReArmingKeepsAPeriodicClock) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Alarm>(0.5, /*rearm_delay=*/4));
+  engine.schedule_timer(0.5, 4, 7);
+  engine.run_rounds(13);
+  const auto* alarm = dynamic_cast<const Alarm*>(engine.find(0.5));
+  ASSERT_EQ(alarm->fired.size(), 3u);  // rounds 4, 8, 12
+  EXPECT_EQ(alarm->fired[0].first, 4u);
+  EXPECT_EQ(alarm->fired[1].first, 8u);
+  EXPECT_EQ(alarm->fired[2].first, 12u);
+  EXPECT_EQ(engine.pending_timers(), 1u);  // the next period is armed
+}
+
+TEST(EngineTimers, RemoveProcessLapsesItsTimers) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Alarm>(0.5));
+  engine.add_process(std::make_unique<Alarm>(0.7));
+  engine.schedule_timer(0.5, 2, 1);
+  engine.schedule_timer(0.7, 2, 2);
+  engine.remove_process(0.5);
+  EXPECT_EQ(engine.pending_timers(), 1u);  // 0.5's alarm purged eagerly
+  engine.run_rounds(3);
+  const auto* survivor = dynamic_cast<const Alarm*>(engine.find(0.7));
+  ASSERT_EQ(survivor->fired.size(), 1u);
+  EXPECT_EQ(engine.counters().timers, 1u);
+}
+
+TEST(EngineTimers, NeverArmedRunPaysNothing) {
+  // The timer facility must leave a timer-free trajectory untouched: same
+  // counters, zero timer actions.
+  const auto run = [](bool unused) {
+    Engine engine(EngineConfig{.scheduler = SchedulerKind::kRandomAsync, .seed = 11});
+    (void)unused;
+    engine.add_process(std::make_unique<Sender>(0.1, 0.9));
+    engine.add_process(std::make_unique<Probe>(0.9, 0.1));
+    engine.run_rounds(50);
+    return engine.counters();
+  };
+  const EngineCounters a = run(false);
+  const EngineCounters b = run(true);
+  EXPECT_EQ(a.timers, 0u);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.actions, b.actions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+TEST(EngineTimers, ZeroDelayAndUnknownProcessRejected) {
+  Engine engine = make_engine();
+  engine.add_process(std::make_unique<Alarm>(0.5));
+  EXPECT_DEATH(engine.schedule_timer(0.5, 0, 1), "at least one round");
+  EXPECT_DEATH(engine.schedule_timer(0.9, 1, 1), "unknown process");
+}
+
 }  // namespace
 }  // namespace sssw::sim

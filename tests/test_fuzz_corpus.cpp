@@ -48,6 +48,27 @@ TEST(FuzzCorpus, CorpusIsNonEmpty) {
   EXPECT_TRUE(has_violation);
 }
 
+TEST(FuzzCorpus, CoversTheCrashRecoveryDimension) {
+  // ISSUE 5: the corpus must pin the crash-stop dimension from both sides —
+  // a detector-on crash case that heals, and a forced crash-recovery
+  // violation keeping the invert + replay pipeline honest for the new
+  // oracle.
+  bool has_crash_ok = false;
+  bool has_crash_violation = false;
+  for (const auto& path : corpus_files()) {
+    const auto repro = parse_repro(slurp(path));
+    ASSERT_TRUE(repro.has_value()) << path;
+    if (!(repro->c.crash_frac > 0 && repro->c.crash_round > 0)) continue;
+    EXPECT_TRUE(repro->c.protocol.detector.enabled) << path;
+    if (repro->expected.ok)
+      has_crash_ok = true;
+    else if (repro->expected.oracle == FuzzOracle::kCrashRecovery)
+      has_crash_violation = true;
+  }
+  EXPECT_TRUE(has_crash_ok);
+  EXPECT_TRUE(has_crash_violation);
+}
+
 TEST(FuzzCorpus, EveryCaseReplaysToRecordedVerdict) {
   // The determinism contract end to end: a reproducer file pins the whole
   // verdict — outcome, violated oracle, violation round, rounds run, final

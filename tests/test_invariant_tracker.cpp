@@ -149,6 +149,38 @@ TEST(InvariantTracker, JoinLeaveCrashSnapshotSequenceStaysExact) {
   expect_tracker_matches_oracle(restored);
 }
 
+TEST(InvariantTracker, CrashRecoveryWithActiveDetectorStaysExact) {
+  // The active detector's evictions mutate pointers from inside on_timer
+  // (purge + re-link through the dead node's last pong view) — a write path
+  // no other test drives.  The tracker must stay exact through the crash,
+  // the detection window, every eviction and the re-convergence.
+  util::Rng rng(20120521);
+  NetworkOptions options;
+  options.seed = 20120521;
+  options.verify_tracker = true;
+  options.protocol.detector.enabled = true;
+  SmallWorldNetwork net = make_stable_ring(random_ids(20, rng), options);
+  expect_tracker_matches_oracle(net);
+
+  // Let probe timers arm and a few detector cycles run while healthy.
+  net.run_rounds(12);
+  expect_tracker_matches_oracle(net);
+
+  const auto ids = net.engine().id_span();
+  ASSERT_TRUE(net.crash(ids[5]));
+  ASSERT_TRUE(net.crash(ids[13]));
+  expect_tracker_matches_oracle(net);
+
+  const std::size_t budget = 400 * net.size() + 4000;
+  for (std::size_t round = 0; round < budget; ++round) {
+    net.run_rounds(1);
+    expect_tracker_matches_oracle(net);
+    if (net.sorted_ring()) break;
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_TRUE(net.sorted_ring());
+}
+
 TEST(InvariantTracker, TestMutatorsKeepTrackerExact) {
   // The fault-injection tests scramble state through set_l/set_r/set_lrl
   // and reset_lrls_matching; those mutators must feed the tracker exactly

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   cli.flag("replay", "replay this reproducer file and exit", &replay_path);
   cli.flag("invert-oracle",
            "test hook: flip this oracle's outcome (phase-monotone | "
-           "lrls-resolve | connectivity | eventual-ring)",
+           "lrls-resolve | connectivity | eventual-ring | crash-recovery)",
            &invert_name);
   cli.flag("no-shrink", "report violations without shrinking", &no_shrink);
   cli.flag("emit-all",

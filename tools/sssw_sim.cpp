@@ -23,7 +23,11 @@
 //
 // With --metrics FILE the run also streams the observability registry to
 // FILE as JSONL, one snapshot every --metrics-every rounds plus a final one
-// at exit (doc/OBSERVABILITY.md documents the schema).
+// at exit (doc/OBSERVABILITY.md documents the schema); with
+// --failure-detector on, the detector.* counters flow into the same stream.
+// --crash-frac F --crash-round R crash-stops a random F of the nodes once
+// `step`/`until-ring` reach round R (same id-pick recipe as sssw_fuzz).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +35,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/invariants.hpp"
 #include "core/messages.hpp"
@@ -113,6 +118,12 @@ int main(int argc, char** argv) {
   double fault_replay = 0.0;
   std::int64_t fault_replay_history = 16;
   std::int64_t adversary_delay = 3;
+  bool failure_detector = false;
+  std::int64_t probe_period = 4;
+  std::int64_t suspect_threshold = 4;
+  double message_loss = 0.0;
+  double crash_frac = 0.0;
+  std::int64_t crash_round = 0;
   std::string script;
   std::string metrics_path;
   std::int64_t metrics_every = 100;
@@ -146,6 +157,21 @@ int main(int argc, char** argv) {
   cli.flag("adversary-delay",
            "adversarial-oldest-last only: rounds every message is held",
            &adversary_delay);
+  cli.flag("failure-detector",
+           "enable the active probe/ack failure detector (doc/FAULTS.md)",
+           &failure_detector);
+  cli.flag("probe-period", "detector: rounds between probe ticks",
+           &probe_period);
+  cli.flag("suspect-threshold", "detector: missed acks before suspicion",
+           &suspect_threshold);
+  cli.flag("message-loss", "per-message drop probability, in [0,1)",
+           &message_loss);
+  cli.flag("crash-frac",
+           "fraction of nodes to crash at --crash-round, in [0,1)",
+           &crash_frac);
+  cli.flag("crash-round",
+           "round at which --crash-frac of the nodes crash (0 = never)",
+           &crash_round);
   cli.flag("script", "read commands from this file instead of stdin", &script);
   cli.flag("metrics", "stream the metrics registry to this JSONL file", &metrics_path);
   cli.flag("metrics-every", "rounds between metric snapshots", &metrics_every);
@@ -195,6 +221,15 @@ int main(int argc, char** argv) {
                  "non-negative, --adversary-delay must be positive\n");
     return 1;
   }
+  if (message_loss < 0 || message_loss >= 1 || crash_frac < 0 ||
+      crash_frac >= 1 || crash_round < 0 || probe_period < 1 ||
+      suspect_threshold < 1) {
+    std::fprintf(stderr,
+                 "--message-loss and --crash-frac must lie in [0,1), "
+                 "--crash-round must be non-negative, --probe-period and "
+                 "--suspect-threshold must be positive\n");
+    return 1;
+  }
 
   util::Rng rng(static_cast<std::uint64_t>(seed));
   core::NetworkOptions options;
@@ -203,10 +238,62 @@ int main(int argc, char** argv) {
   options.delivery_probability = delivery_prob;
   options.faults = faults;
   options.adversary_delay = static_cast<std::uint32_t>(adversary_delay);
-  options.protocol.failure_timeout = 16;  // crash-stop works out of the box
+  options.message_loss = message_loss;
+  // Crash-stop works out of the box: the legacy passive detector by default,
+  // or the active probe/ack detector when requested.  Never both — a passive
+  // reset clears the stale pointer before the active detector's eviction,
+  // which kills the re-link through the dead node's last reported view.
+  options.protocol.failure_timeout = failure_detector ? 0 : 16;
+  options.protocol.detector.enabled = failure_detector;
+  options.protocol.detector.probe_period =
+      static_cast<std::uint32_t>(probe_period);
+  options.protocol.detector.suspect_threshold =
+      static_cast<std::uint32_t>(suspect_threshold);
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(
       shape, core::random_ids(static_cast<std::size_t>(n), rng), rng));
+
+  // Scheduled crash: once the engine reaches --crash-round, crash-stop a
+  // random --crash-frac of the nodes (same id-pick recipe the fuzzer uses,
+  // so a fuzz case reproduces here with the same seed).
+  bool crash_pending = crash_frac > 0 && crash_round > 0;
+  const auto maybe_crash = [&]() {
+    if (!crash_pending ||
+        net.engine().round() < static_cast<std::uint64_t>(crash_round))
+      return;
+    crash_pending = false;
+    util::Rng crash_rng(static_cast<std::uint64_t>(seed) ^
+                        0x9e3779b97f4a7c15ull);
+    std::vector<sim::Id> pool(net.engine().id_span().begin(),
+                              net.engine().id_span().end());
+    if (pool.size() < 3) return;
+    std::size_t count = static_cast<std::size_t>(
+        crash_frac * static_cast<double>(pool.size()));
+    count = std::max<std::size_t>(1, std::min(count, pool.size() - 2));
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + crash_rng.below(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+      net.crash(pool[i]);
+      std::printf("crashed %.6f at round %llu\n", pool[i],
+                  static_cast<unsigned long long>(net.engine().round()));
+    }
+  };
+  const auto step_rounds = [&](std::size_t rounds) {
+    while (rounds > 0) {
+      maybe_crash();
+      std::size_t chunk = rounds;
+      if (crash_pending) {
+        const std::uint64_t now = net.engine().round();
+        if (static_cast<std::uint64_t>(crash_round) > now)
+          chunk = std::min<std::size_t>(
+              rounds, static_cast<std::size_t>(
+                          static_cast<std::uint64_t>(crash_round) - now));
+      }
+      net.run_rounds(chunk);
+      rounds -= chunk;
+    }
+    maybe_crash();
+  };
 
   // Optional observability stream: registry + snapshotter outlive the
   // network (load replaces it), so they are re-wired after every swap.
@@ -257,11 +344,18 @@ int main(int argc, char** argv) {
       } else if (cmd == "step") {
         std::size_t rounds = 1;
         words >> rounds;
-        net.run_rounds(rounds);
+        step_rounds(rounds);
         cmd_status(net);
       } else if (cmd == "until-ring") {
         std::size_t budget = 100000;
         words >> budget;
+        if (crash_pending) {
+          const std::uint64_t now = net.engine().round();
+          if (static_cast<std::uint64_t>(crash_round) > now)
+            step_rounds(static_cast<std::size_t>(
+                static_cast<std::uint64_t>(crash_round) - now));
+          maybe_crash();
+        }
         const auto rounds = net.run_until_sorted_ring(budget);
         if (rounds.has_value()) {
           std::printf("ring after %llu rounds\n",
