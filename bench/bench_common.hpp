@@ -37,18 +37,12 @@ inline core::SmallWorldNetwork stabilized(std::size_t n, std::uint64_t seed,
 
 /// Publishes every metric of `registry` as a google-benchmark counter, so
 /// the registry's observables show up in the standard console/JSON reports
-/// under their registry names.  Counters and gauges pass through verbatim;
-/// a histogram `h` becomes `h_count`, `h_mean`, and `h_p90`.
+/// under their registry names — flattened by the same obs::flatten rule the
+/// sweep runner uses for cell metrics (histogram `h` → `h_count`, `h_mean`,
+/// `h_p90`), so one metric has one flat name across every front-end.
 inline void report_registry(benchmark::State& state, const obs::Registry& registry) {
-  for (const auto& [name, counter] : registry.counters())
-    state.counters[name] = static_cast<double>(counter.value());
-  for (const auto& [name, gauge] : registry.gauges())
-    state.counters[name] = gauge.value();
-  for (const auto& [name, histogram] : registry.histograms()) {
-    state.counters[name + "_count"] = static_cast<double>(histogram.count());
-    state.counters[name + "_mean"] = histogram.mean();
-    state.counters[name + "_p90"] = histogram.quantile(0.9);
-  }
+  for (const auto& [name, value] : obs::flatten(registry))
+    state.counters[name] = value;
 }
 
 }  // namespace sssw::bench

@@ -17,95 +17,51 @@
 // partition is the one adversary that can defeat Lemma 4.10 outright: dropping
 // a crossing message destroys the reference it carried, so `survived` < 1 is
 // expected — and every surviving trial must still converge.
+//
+// The measurement itself lives in analysis::measure_fault_convergence
+// (src/analysis/stress.hpp): this bench and the e13-faults sweep cells
+// (tools/sssw_sweep, doc/BENCHMARKS.md) execute the identical driver.
 #include <cstdint>
 
+#include "analysis/stress.hpp"
 #include "bench_common.hpp"
-#include "core/invariants.hpp"
 #include "sim/faults.hpp"
-#include "topology/initial_states.hpp"
 
 namespace {
 
 using namespace sssw;
 
-struct SweepResult {
-  double rounds = 0;     ///< mean rounds to the sorted ring over converged trials
-  double converged = 0;  ///< fraction of trials that converged in budget
-  double survived = 0;   ///< fraction still weakly connected after the window
-  double injected = 0;   ///< mean fault events injected per trial
-};
-
-SweepResult run_sweep(std::size_t n, const sim::FaultPlan& plan,
-                      sim::SchedulerKind scheduler, std::uint32_t adversary_delay,
-                      std::size_t budget, std::uint64_t seed_base, int trials) {
-  SweepResult result;
-  double sum_rounds = 0;
-  int converged = 0;
-  int survived = 0;
-  for (int trial = 0; trial < trials; ++trial) {
-    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(trial);
-    util::Rng rng(seed);
-    auto ids = core::random_ids(n, rng);
-    core::NetworkOptions options;
-    options.scheduler = scheduler;
-    options.seed = seed;
-    options.faults = plan;
-    options.adversary_delay = adversary_delay;
-    core::SmallWorldNetwork net(options);
-    net.add_nodes(topology::make_initial_state(topology::InitialShape::kRandomChain,
-                                               std::move(ids), rng));
-    // A partition may legitimately sever the CC (a dropped crossing message
-    // takes its reference with it) — run the window out first and only chase
-    // the ring if the network is still one component; the sorted ring is
-    // unreachable from a split CC, so the budget would be pure waste.
-    std::size_t window = 0;
-    if (plan.partition_rounds > 0) {
-      window = static_cast<std::size_t>(plan.partition_start + plan.partition_rounds);
-      net.run_rounds(window);
-      if (!core::cc_weakly_connected(net.engine())) {
-        const sim::FaultCounters& f = net.engine().counters().faults;
-        result.injected += static_cast<double>(f.duplicated + f.delayed +
-                                               f.replayed + f.partition_dropped);
-        continue;
-      }
-    }
-    ++survived;
-    if (const auto rounds = net.run_until_sorted_ring(budget - window)) {
-      sum_rounds += static_cast<double>(window + *rounds);
-      ++converged;
-    }
-    const sim::FaultCounters& f = net.engine().counters().faults;
-    result.injected += static_cast<double>(f.duplicated + f.delayed + f.replayed +
-                                           f.partition_dropped);
-  }
-  result.rounds = converged > 0 ? sum_rounds / converged : -1.0;
-  result.converged = static_cast<double>(converged) / trials;
-  result.survived = static_cast<double>(survived) / trials;
-  result.injected /= trials;
-  return result;
+analysis::FaultSweepResult run_sweep(const sim::FaultPlan& plan,
+                                     sim::SchedulerKind scheduler,
+                                     std::uint32_t adversary_delay,
+                                     std::uint64_t seed_base,
+                                     std::size_t trials) {
+  analysis::FaultSweepOptions options;
+  options.n = 64;
+  options.trials = trials;
+  options.base_seed = seed_base;
+  options.faults = plan;
+  options.scheduler = scheduler;
+  options.adversary_delay = adversary_delay;
+  return analysis::measure_fault_convergence(options);
 }
 
-void report(benchmark::State& state, const SweepResult& result) {
+void report(benchmark::State& state, const analysis::FaultSweepResult& result) {
   state.counters["rounds"] = result.rounds;
   state.counters["converged"] = result.converged;
   state.counters["survived"] = result.survived;
   state.counters["injected"] = result.injected;
 }
 
-constexpr std::size_t kN = 64;
-constexpr int kTrials = 4;
-
-// Budget mirrors analysis::round_bound: the theorem-shaped 400n + 4000 bound
-// times the worst-case latency factor of the active adversary.
-constexpr std::size_t kBaseBudget = 400 * kN + 4000;
+constexpr std::size_t kTrials = 4;
 
 void BM_Faults_Duplicate(benchmark::State& state) {
   // state.range(0) = duplication probability in percent.
   sim::FaultPlan plan;
   plan.duplicate_probability = static_cast<double>(state.range(0)) / 100.0;
-  SweepResult result;
+  analysis::FaultSweepResult result;
   for (auto _ : state)
-    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3, kBaseBudget,
+    result = run_sweep(plan, sim::SchedulerKind::kSynchronous, 3,
                        bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
                        kTrials);
   report(state, result);
@@ -120,10 +76,9 @@ void BM_Faults_Delay(benchmark::State& state) {
   sim::FaultPlan plan;
   plan.delay_probability = static_cast<double>(state.range(0)) / 100.0;
   plan.max_delay_rounds = 3;
-  SweepResult result;
+  analysis::FaultSweepResult result;
   for (auto _ : state)
-    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3,
-                       kBaseBudget * (1 + plan.max_delay_rounds),
+    result = run_sweep(plan, sim::SchedulerKind::kSynchronous, 3,
                        bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
                        kTrials);
   report(state, result);
@@ -141,12 +96,11 @@ void BM_Faults_Partition(benchmark::State& state) {
   // split severs the CC almost surely, an off-center pivot much less often.
   sim::FaultPlan plan;
   plan.partition_start = 2;
-  plan.partition_rounds = static_cast<std::uint64_t>(state.range(0));
+  plan.partition_rounds = static_cast<std::uint32_t>(state.range(0));
   plan.partition_pivot = static_cast<double>(state.range(1)) / 100.0;
-  SweepResult result;
+  analysis::FaultSweepResult result;
   for (auto _ : state)
-    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3,
-                       kBaseBudget + plan.partition_start + plan.partition_rounds,
+    result = run_sweep(plan, sim::SchedulerKind::kSynchronous, 3,
                        bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
                        8);
   report(state, result);
@@ -163,9 +117,9 @@ void BM_Faults_Replay(benchmark::State& state) {
   sim::FaultPlan plan;
   plan.replay_probability = static_cast<double>(state.range(0)) / 100.0;
   plan.replay_history = 16;
-  SweepResult result;
+  analysis::FaultSweepResult result;
   for (auto _ : state)
-    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3, kBaseBudget,
+    result = run_sweep(plan, sim::SchedulerKind::kSynchronous, 3,
                        bench::kBaseSeed + static_cast<std::uint64_t>(state.range(0)),
                        kTrials);
   report(state, result);
@@ -178,11 +132,10 @@ void BM_Faults_OldestLast(benchmark::State& state) {
   // state.range(0) = adversary hold time in rounds under the starvation-
   // bounded oldest-last scheduler (every message waits exactly this long).
   const auto delay = static_cast<std::uint32_t>(state.range(0));
-  SweepResult result;
+  analysis::FaultSweepResult result;
   for (auto _ : state)
-    result = run_sweep(kN, sim::FaultPlan{}, sim::SchedulerKind::kAdversarialOldestLast,
-                       delay, kBaseBudget * (1 + delay),
-                       bench::kBaseSeed + delay, kTrials);
+    result = run_sweep(sim::FaultPlan{}, sim::SchedulerKind::kAdversarialOldestLast,
+                       delay, bench::kBaseSeed + delay, kTrials);
   report(state, result);
   state.counters["hold"] = static_cast<double>(state.range(0));
 }
@@ -201,11 +154,9 @@ void BM_Faults_AllAtOnce(benchmark::State& state) {
   plan.partition_pivot = 0.05;  // off-center: severing is possible, not certain
   plan.replay_probability = 0.05;
   plan.replay_history = 16;
-  SweepResult result;
+  analysis::FaultSweepResult result;
   for (auto _ : state)
-    result = run_sweep(kN, plan, sim::SchedulerKind::kSynchronous, 3,
-                       kBaseBudget * (1 + plan.max_delay_rounds) +
-                           plan.partition_start + plan.partition_rounds,
+    result = run_sweep(plan, sim::SchedulerKind::kSynchronous, 3,
                        bench::kBaseSeed, kTrials);
   report(state, result);
 }

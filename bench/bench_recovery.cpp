@@ -22,110 +22,36 @@
 // roughly flat in crash fraction while the survivor graph stays connected;
 // 5% loss stretches detection slightly (lost pings retry) but must not
 // change healed.  The crash_pct=0 rows measure steady-state overhead only.
+//
+// The measurement itself lives in analysis::measure_crash_recovery
+// (src/analysis/stress.hpp): this bench and the e14-recovery sweep cells
+// (tools/sssw_sweep, doc/BENCHMARKS.md) execute the identical driver.
 #include <cstdint>
 
+#include "analysis/stress.hpp"
 #include "bench_common.hpp"
-#include "core/invariants.hpp"
-#include "core/messages.hpp"
-#include "topology/initial_states.hpp"
 
 namespace {
 
 using namespace sssw;
 
-struct RecoveryResult {
-  double repair_rounds = 0;   ///< mean rounds to re-sorted ring (healed trials)
-  double healed = 0;          ///< fraction healed within budget
-  double survived = 0;        ///< fraction with weakly connected survivors
-  double msgs_per_nr = 0;     ///< messages per surviving node per round
-  double detector_share = 0;  ///< ping+pong fraction of that traffic
-  double evictions = 0;       ///< mean detector evictions per trial
-};
+constexpr std::size_t kN = 64;
+constexpr std::size_t kTrials = 4;
 
-RecoveryResult run_recovery(std::size_t n, double crash_frac, double loss,
-                            bool use_crash, std::uint64_t seed_base, int trials) {
-  RecoveryResult result;
-  double rounds_sum = 0, msgs_sum = 0, share_sum = 0, evict_sum = 0;
-  int healed = 0, survived = 0, windows = 0;
-  for (int trial = 0; trial < trials; ++trial) {
-    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(trial);
-    util::Rng rng(seed);
-    auto ids = core::random_ids(n, rng);
-    core::NetworkOptions options;
-    options.seed = seed;
-    options.message_loss = loss;
-    options.protocol.detector.enabled = use_crash;  // leave needs no detector
-    core::SmallWorldNetwork net = core::make_stable_ring(std::move(ids), options);
-    obs::Registry registry;
-    net.attach_metrics(registry);
-    net.run_rounds(4 * n);  // burn-in: links spread, probe timers cycling
-
-    // Victim pick: the fuzzer's recipe (dedicated stream, partial shuffle).
-    std::vector<sim::Id> victims(net.engine().id_span().begin(),
-                                 net.engine().id_span().end());
-    std::size_t count = static_cast<std::size_t>(
-        crash_frac * static_cast<double>(victims.size()));
-    if (crash_frac > 0) count = std::max<std::size_t>(count, 1);
-    count = std::min(count, victims.size() - 2);
-    util::Rng pick(seed ^ 0x9e3779b97f4a7c15ull);
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t j = i + pick.below(victims.size() - i);
-      std::swap(victims[i], victims[j]);
-    }
-    victims.resize(count);
-    for (const sim::Id victim : victims)
-      use_crash ? net.crash(victim) : net.leave(victim);
-
-    const sim::EngineCounters& counters = net.engine().counters();
-    const std::uint64_t sent_before = counters.total_sent();
-    const std::uint64_t rounds_before = counters.rounds;
-    const std::uint64_t detector_before =
-        counters.sent_by_type[core::kPing] + counters.sent_by_type[core::kPong];
-
-    // Healing window: chase the ring after an event, or run a fixed window
-    // for the crash_pct=0 steady-state-overhead rows.
-    std::size_t budget = 400 * n + 4000;
-    if (loss > 0) budget *= 2;
-    bool trial_healed = false;
-    if (count > 0) {
-      if (const auto rounds = net.run_until_sorted_ring(budget)) {
-        rounds_sum += static_cast<double>(*rounds);
-        trial_healed = true;
-        ++healed;
-      }
-    } else {
-      net.run_rounds(256);
-      trial_healed = true;  // nothing to heal
-      ++healed;
-    }
-    if (trial_healed || core::cc_weakly_connected(net.engine())) ++survived;
-
-    const std::uint64_t window = counters.rounds - rounds_before;
-    const std::uint64_t sent = counters.total_sent() - sent_before;
-    if (window > 0 && net.size() > 0) {
-      msgs_sum += static_cast<double>(sent) /
-                  (static_cast<double>(window) * static_cast<double>(net.size()));
-      const std::uint64_t detector_msgs = counters.sent_by_type[core::kPing] +
-                                          counters.sent_by_type[core::kPong] -
-                                          detector_before;
-      share_sum += sent > 0 ? static_cast<double>(detector_msgs) /
-                                  static_cast<double>(sent)
-                            : 0.0;
-      ++windows;
-    }
-    evict_sum +=
-        static_cast<double>(registry.counter("node.detector.evictions").value());
-  }
-  result.repair_rounds = healed > 0 ? rounds_sum / healed : -1.0;
-  result.healed = static_cast<double>(healed) / trials;
-  result.survived = static_cast<double>(survived) / trials;
-  result.msgs_per_nr = windows > 0 ? msgs_sum / windows : 0.0;
-  result.detector_share = windows > 0 ? share_sum / windows : 0.0;
-  result.evictions = evict_sum / trials;
-  return result;
+analysis::RecoveryResult run_recovery(double crash_frac, double loss,
+                                      analysis::RecoveryOptions::Mode mode,
+                                      std::uint64_t seed_base) {
+  analysis::RecoveryOptions options;
+  options.n = kN;
+  options.trials = kTrials;
+  options.base_seed = seed_base;
+  options.crash_frac = crash_frac;
+  options.message_loss = loss;
+  options.mode = mode;
+  return analysis::measure_crash_recovery(options);
 }
 
-void report(benchmark::State& state, const RecoveryResult& result) {
+void report(benchmark::State& state, const analysis::RecoveryResult& result) {
   state.counters["repair_rounds"] = result.repair_rounds;
   state.counters["healed"] = result.healed;
   state.counters["survived"] = result.survived;
@@ -136,20 +62,16 @@ void report(benchmark::State& state, const RecoveryResult& result) {
   state.counters["loss_pct"] = static_cast<double>(state.range(1));
 }
 
-constexpr std::size_t kN = 64;
-constexpr int kTrials = 4;
-
 void BM_Recovery_Crash(benchmark::State& state) {
   // Crash-stop + active detector: state.range = {crash %, loss %}.
   const double frac = static_cast<double>(state.range(0)) / 100.0;
   const double loss = static_cast<double>(state.range(1)) / 100.0;
-  RecoveryResult result;
+  analysis::RecoveryResult result;
   for (auto _ : state)
-    result = run_recovery(kN, frac, loss, /*use_crash=*/true,
+    result = run_recovery(frac, loss, analysis::RecoveryOptions::Mode::kCrash,
                           bench::kBaseSeed +
                               static_cast<std::uint64_t>(state.range(0)) * 100 +
-                              static_cast<std::uint64_t>(state.range(1)),
-                          kTrials);
+                              static_cast<std::uint64_t>(state.range(1)));
   report(state, result);
 }
 
@@ -157,13 +79,12 @@ void BM_Recovery_Leave(benchmark::State& state) {
   // Detected-leave baseline: same victims, free detection, no detector.
   const double frac = static_cast<double>(state.range(0)) / 100.0;
   const double loss = static_cast<double>(state.range(1)) / 100.0;
-  RecoveryResult result;
+  analysis::RecoveryResult result;
   for (auto _ : state)
-    result = run_recovery(kN, frac, loss, /*use_crash=*/false,
+    result = run_recovery(frac, loss, analysis::RecoveryOptions::Mode::kLeave,
                           bench::kBaseSeed +
                               static_cast<std::uint64_t>(state.range(0)) * 100 +
-                              static_cast<std::uint64_t>(state.range(1)),
-                          kTrials);
+                              static_cast<std::uint64_t>(state.range(1)));
   report(state, result);
 }
 

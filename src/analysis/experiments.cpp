@@ -1,0 +1,293 @@
+#include "analysis/experiments.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "analysis/convergence.hpp"
+#include "analysis/linklen.hpp"
+#include "analysis/phases.hpp"
+#include "analysis/stress.hpp"
+#include "obs/registry.hpp"
+#include "routing/greedy.hpp"
+#include "topology/stationary.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sssw::analysis {
+
+namespace {
+
+// Cells carry canonical specs produced by expand_cells, so re-parsing here
+// cannot fail; the CHECK guards hand-built cells in tests.
+core::Config ablation_config(const SweepCell& cell) {
+  const auto spec = parse_ablation_spec(cell.ablation);
+  SSSW_CHECK(spec.has_value());
+  return spec->config;
+}
+
+FaultSpec fault_spec(const SweepCell& cell) {
+  const auto spec = parse_fault_spec(cell.fault);
+  SSSW_CHECK(spec.has_value());
+  return *spec;
+}
+
+/// The theorem-shaped budget (400n + 4000) scaled by the extra per-message
+/// latency the cell's scheduler/fault plan imposes — the same shape as
+/// fuzz.cpp's round_bound, minus the dimensions a sweep cell cannot carry.
+std::uint64_t cell_budget(const SweepCell& cell, const FaultSpec& fault) {
+  if (cell.max_rounds > 0) return cell.max_rounds;
+  std::uint64_t bound = 400 * static_cast<std::uint64_t>(cell.n) + 4000;
+  std::uint64_t latency = 1;
+  if (fault.plan.delay_probability > 0) latency += fault.plan.max_delay_rounds;
+  if (cell.scheduler == sim::SchedulerKind::kAdversarialOldestLast)
+    latency += fault.oldest_last_hold > 0 ? fault.oldest_last_hold : 3;
+  bound *= latency;
+  if (fault.plan.partition_rounds > 0)
+    bound += fault.plan.partition_start + fault.plan.partition_rounds;
+  return bound;
+}
+
+double param_or(const SweepCell& cell, std::string_view key, double fallback) {
+  for (const auto& [k, v] : split_params(cell.params))
+    if (k == key) return std::strtod(v.c_str(), nullptr);
+  return fallback;
+}
+
+std::string param_or(const SweepCell& cell, std::string_view key,
+                     std::string fallback) {
+  for (const auto& [k, v] : split_params(cell.params))
+    if (k == key) return v;
+  return fallback;
+}
+
+// --- E1/E2: convergence to the sorted ring (Thms 4.9/4.18) -----------------
+
+CellResult run_convergence(const SweepCell& cell, obs::Registry*) {
+  ConvergenceOptions options;
+  options.n = cell.n;
+  options.trials = cell.trials;
+  options.base_seed = cell.seed;
+  options.max_rounds = cell_budget(cell, fault_spec(cell));
+  options.protocol = ablation_config(cell);
+  options.scheduler = cell.scheduler;
+  const ConvergenceResult r = measure_convergence(cell.shape, options);
+  CellResult out;
+  out.add("list_rounds_mean", r.list_rounds.mean);
+  out.add("list_rounds_p90", r.list_rounds.p90);
+  out.add("ring_extra_mean", r.ring_extra_rounds.mean);
+  out.add("msgs_per_node_mean", r.messages_per_node.mean);
+  out.add("converged", r.converged);
+  return out;
+}
+
+// --- E1b: phase timeline (the §IV proof structure) -------------------------
+
+CellResult run_phases(const SweepCell& cell, obs::Registry*) {
+  PhaseTimelineOptions options;
+  options.n = cell.n;
+  options.max_rounds = cell_budget(cell, fault_spec(cell));
+  options.protocol = ablation_config(cell);
+  options.scheduler = cell.scheduler;
+  const core::Phase tracked[] = {core::Phase::kListConnected,
+                                 core::Phase::kSortedList,
+                                 core::Phase::kSortedRing,
+                                 core::Phase::kSmallWorld};
+  const char* names[] = {"list_connected_mean", "sorted_list_mean",
+                         "sorted_ring_mean", "small_world_mean"};
+  double sums[4] = {};
+  std::size_t counts[4] = {};
+  std::size_t completed = 0;
+  for (std::size_t trial = 0; trial < cell.trials; ++trial) {
+    options.seed = cell.seed + trial;
+    const PhaseTimeline timeline = measure_phase_timeline(cell.shape, options);
+    if (timeline.completed()) ++completed;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (const auto round = timeline.at(tracked[i])) {
+        sums[i] += static_cast<double>(*round);
+        ++counts[i];
+      }
+    }
+  }
+  CellResult out;
+  for (std::size_t i = 0; i < 4; ++i)
+    out.add(names[i],
+            counts[i] > 0 ? sums[i] / static_cast<double>(counts[i]) : -1.0);
+  out.add("completed",
+          static_cast<double>(completed) / static_cast<double>(cell.trials));
+  return out;
+}
+
+// --- E3: long-range-link length law (Fact 4.21 / Thm 4.22) -----------------
+
+CellResult run_linklen(const SweepCell& cell, obs::Registry*) {
+  LinkLenOptions options;
+  options.n = cell.n;
+  options.seed = cell.seed;
+  const core::Config protocol = ablation_config(cell);
+  options.epsilon = protocol.epsilon;
+  const std::string process = param_or(cell, "process", std::string("cfl"));
+  const LinkLenResult r = process == "protocol"
+                              ? measure_protocol_linklen(options, protocol)
+                              : measure_cfl_linklen(options);
+  CellResult out;
+  out.add("exponent", r.fit.exponent);
+  out.add("exponent_r2", r.fit.r2);
+  out.add("corrected_slope", r.corrected.slope);
+  out.add("mean_length", r.mean_length);
+  out.add("samples", static_cast<double>(r.samples));
+  return out;
+}
+
+// --- E5: greedy routing on the stationary graph (Thm 4.22 / Kleinberg) -----
+
+CellResult run_routing(const SweepCell& cell, obs::Registry*) {
+  const auto pairs =
+      static_cast<std::size_t>(param_or(cell, "pairs", 256.0));
+  util::Rng build(cell.seed);
+  const graph::Digraph graph =
+      topology::make_stationary_smallworld_ring(cell.n, build);
+  util::Rng eval(cell.seed + 1);
+  const routing::RoutingStats stats =
+      routing::evaluate_routing(graph, eval, pairs, cell.n);
+  CellResult out;
+  out.add("hops_mean", stats.hops.mean);
+  out.add("hops_p90", stats.hops.p90);
+  out.add("success", stats.success_rate);
+  return out;
+}
+
+// --- E6/E7: join/leave recovery (§IV.G) ------------------------------------
+
+CellResult run_churn(const SweepCell& cell, obs::Registry*) {
+  ChurnOptions options;
+  options.n = cell.n;
+  options.trials = cell.trials;
+  options.base_seed = cell.seed;
+  options.max_recovery_rounds = cell_budget(cell, fault_spec(cell));
+  options.protocol = ablation_config(cell);
+  const ChurnResult join = measure_join(options);
+  const ChurnResult leave = measure_leave(options);
+  CellResult out;
+  out.add("join_rounds_mean", join.recovery_rounds.mean);
+  out.add("join_msgs_mean", join.recovery_messages.mean);
+  out.add("join_recovered", join.recovered);
+  out.add("leave_rounds_mean", leave.recovery_rounds.mean);
+  out.add("leave_msgs_mean", leave.recovery_messages.mean);
+  out.add("leave_recovered", leave.recovered);
+  return out;
+}
+
+// --- E13: convergence under the fault adversary ----------------------------
+
+CellResult run_faults(const SweepCell& cell, obs::Registry*) {
+  const FaultSpec fault = fault_spec(cell);
+  FaultSweepOptions options;
+  options.n = cell.n;
+  options.trials = cell.trials;
+  options.base_seed = cell.seed;
+  options.faults = fault.plan;
+  options.scheduler = fault.oldest_last()
+                          ? sim::SchedulerKind::kAdversarialOldestLast
+                          : cell.scheduler;
+  if (fault.oldest_last()) options.adversary_delay = fault.oldest_last_hold;
+  options.protocol = ablation_config(cell);
+  options.max_rounds = cell.max_rounds;
+  const FaultSweepResult r = measure_fault_convergence(options);
+  CellResult out;
+  out.add("rounds", r.rounds);
+  out.add("converged", r.converged);
+  out.add("survived", r.survived);
+  out.add("injected", r.injected);
+  return out;
+}
+
+// --- E14: crash recovery under the active failure detector -----------------
+
+constexpr std::string_view kRecoveryParams[] = {"crash", "loss", "mode"};
+
+CellResult run_recovery(const SweepCell& cell, obs::Registry* registry) {
+  RecoveryOptions options;
+  options.n = cell.n;
+  options.trials = cell.trials;
+  options.base_seed = cell.seed;
+  options.crash_frac = param_or(cell, "crash", 0.1);
+  options.message_loss = param_or(cell, "loss", 0.0);
+  options.mode = param_or(cell, "mode", std::string("crash")) == "leave"
+                     ? RecoveryOptions::Mode::kLeave
+                     : RecoveryOptions::Mode::kCrash;
+  options.protocol = ablation_config(cell);
+  options.max_rounds = cell.max_rounds;
+  const RecoveryResult r = measure_crash_recovery(options, registry);
+  CellResult out;
+  out.add("repair_rounds", r.repair_rounds);
+  out.add("healed", r.healed);
+  out.add("survived", r.survived);
+  out.add("msgs_per_nr", r.msgs_per_nr);
+  out.add("detector_share", r.detector_share);
+  out.add("evictions", r.evictions);
+  return out;
+}
+
+constexpr std::string_view kLinklenParams[] = {"process"};
+constexpr std::string_view kRoutingParams[] = {"pairs"};
+
+constexpr ExperimentDescriptor kExperiments[] = {
+    {"e1-convergence", "bench_convergence",
+     "Thms 4.9/4.18: O(n) rounds from any weakly connected state",
+     /*uses_shape=*/true, /*uses_scheduler=*/true, /*uses_fault=*/false,
+     /*uses_ablation=*/true, {}, run_convergence},
+    {"e1b-phases", "bench_convergence",
+     "§IV proof structure: CC → LCC → sorted list → ring → small world",
+     /*uses_shape=*/true, /*uses_scheduler=*/true, /*uses_fault=*/false,
+     /*uses_ablation=*/true, {}, run_phases},
+    {"e3-linklen", "bench_linklen",
+     "Fact 4.21: lrl lengths follow the 1-harmonic CFL stationary law",
+     /*uses_shape=*/false, /*uses_scheduler=*/false, /*uses_fault=*/false,
+     /*uses_ablation=*/true, kLinklenParams, run_linklen},
+    {"e5-routing", "bench_routing",
+     "Thm 4.22: polylog greedy routing at constant degree",
+     /*uses_shape=*/false, /*uses_scheduler=*/false, /*uses_fault=*/false,
+     /*uses_ablation=*/false, kRoutingParams, run_routing},
+    {"e6-churn", "bench_churn",
+     "§IV.G: O(log² n) expected recovery after a join or leave",
+     /*uses_shape=*/false, /*uses_scheduler=*/false, /*uses_fault=*/false,
+     /*uses_ablation=*/true, {}, run_churn},
+    {"e13-faults", "bench_faults",
+     "Self-stabilization under duplication/delay/partition/replay adversaries",
+     /*uses_shape=*/false, /*uses_scheduler=*/true, /*uses_fault=*/true,
+     /*uses_ablation=*/true, {}, run_faults},
+    {"e14-recovery", "bench_recovery",
+     "Crash-stop recovery via the active probe/ack failure detector",
+     /*uses_shape=*/false, /*uses_scheduler=*/false, /*uses_fault=*/false,
+     /*uses_ablation=*/true, kRecoveryParams, run_recovery},
+};
+
+}  // namespace
+
+std::span<const ExperimentDescriptor> all_experiments() { return kExperiments; }
+
+const ExperimentDescriptor* find_experiment(std::string_view name) {
+  for (const ExperimentDescriptor& experiment : kExperiments)
+    if (experiment.name == name) return &experiment;
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> split_params(
+    std::string_view params) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t start = 0;
+  while (start < params.size()) {
+    std::size_t end = params.find(';', start);
+    if (end == std::string_view::npos) end = params.size();
+    const std::string_view entry = params.substr(start, end - start);
+    const std::size_t eq = entry.find('=');
+    if (eq != std::string_view::npos)
+      out.emplace_back(std::string(entry.substr(0, eq)),
+                       std::string(entry.substr(eq + 1)));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace sssw::analysis

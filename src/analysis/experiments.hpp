@@ -1,0 +1,70 @@
+// experiments.hpp — the registry of sweepable experiment descriptors.
+//
+// Each descriptor binds one experiment name (as written in a matrix config's
+// `experiments` list) to the analysis driver that measures it, and declares
+// which matrix axes the experiment actually consumes.  expand_cells()
+// collapses unused axes to their defaults before hashing, so listing
+// `faults` in a config never multiplies the e1-convergence cells, and the
+// report stage knows which columns are meaningful per experiment.
+//
+// The same drivers back the google-benchmark binaries (bench/), so a sweep
+// cell and its bench counterpart measure the identical quantity; the
+// descriptor's `binary` field names that counterpart, and `claim` names the
+// paper theorem/figure the experiment checks (doc/BENCHMARKS.md is the
+// human-readable catalog, and a coverage test keeps the two in sync).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+
+namespace sssw::obs {
+class Registry;
+}
+
+namespace sssw::analysis {
+
+/// What one cell execution produced: flat named observables (the meta.json
+/// `metrics` object, also the runs.csv columns).  A non-empty `error` marks
+/// the cell failed; metrics gathered so far are kept for debugging.
+struct CellResult {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string error;
+
+  void add(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+};
+
+struct ExperimentDescriptor {
+  std::string_view name;    ///< config-facing name, e.g. "e13-faults"
+  std::string_view binary;  ///< bench/tool counterpart, e.g. "bench_faults"
+  std::string_view claim;   ///< paper theorem/figure the experiment checks
+  bool uses_shape = false;
+  bool uses_scheduler = false;
+  bool uses_fault = false;
+  bool uses_ablation = false;
+  /// Param keys accepted after the name in the experiments list
+  /// (`e14-recovery:crash=0.25`); anything else is a config error.
+  std::span<const std::string_view> allowed_params;
+  /// Executes one cell.  `registry`, when non-null, receives the merged
+  /// per-trial obs metrics for cells whose driver exposes them (the sweep
+  /// runner snapshots it into the cell's metrics.jsonl).
+  CellResult (*run)(const SweepCell& cell, obs::Registry* registry);
+};
+
+/// Every registered experiment, in catalog order (E1 → E14).
+std::span<const ExperimentDescriptor> all_experiments();
+
+/// Lookup by config-facing name; nullptr when unknown.
+const ExperimentDescriptor* find_experiment(std::string_view name);
+
+/// Splits a cell's canonical params string ("k=v;k=v") into pairs.
+std::vector<std::pair<std::string, std::string>> split_params(
+    std::string_view params);
+
+}  // namespace sssw::analysis

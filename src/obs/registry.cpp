@@ -132,4 +132,20 @@ void Registry::reset() noexcept {
   for (auto& [name, metric] : histograms_) metric.reset();
 }
 
+std::vector<std::pair<std::string, double>> flatten(const Registry& registry) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(registry.counters().size() + registry.gauges().size() +
+              3 * registry.histograms().size());
+  for (const auto& [name, counter] : registry.counters())
+    out.emplace_back(name, static_cast<double>(counter.value()));
+  for (const auto& [name, gauge] : registry.gauges())
+    out.emplace_back(name, gauge.value());
+  for (const auto& [name, histogram] : registry.histograms()) {
+    out.emplace_back(name + "_count", static_cast<double>(histogram.count()));
+    out.emplace_back(name + "_mean", histogram.mean());
+    out.emplace_back(name + "_p90", histogram.quantile(0.9));
+  }
+  return out;
+}
+
 }  // namespace sssw::obs

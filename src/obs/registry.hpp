@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sssw::obs {
 
@@ -150,5 +152,13 @@ class Registry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Flattens every metric of `registry` to (name, value) pairs, name-ordered
+/// within each kind: counters and gauges pass through verbatim; a histogram
+/// `h` becomes `h_count`, `h_mean`, and `h_p90`.  The one flattening rule
+/// shared by every scalar sink — google-benchmark counters (bench_common),
+/// sweep cell metrics (analysis::run_sweep), CSV columns — so a metric shows
+/// up under the same flat name everywhere.
+std::vector<std::pair<std::string, double>> flatten(const Registry& registry);
 
 }  // namespace sssw::obs

@@ -229,6 +229,29 @@ TEST(Registry, ParallelTrialMergeMatchesSerial) {
                    static_cast<double>(kTrials - 1));
 }
 
+// --- flatten ----------------------------------------------------------------
+
+TEST(Registry, FlattenExpandsHistogramsAndKeepsScalars) {
+  Registry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.level").set(2.5);
+  Histogram& h = registry.histogram("c.dist");
+  h.observe(1.0);
+  h.observe(3.0);
+  const auto flat = flatten(registry);
+  ASSERT_EQ(flat.size(), 5u);  // counter + gauge + histogram × 3
+  EXPECT_EQ(flat[0].first, "a.count");
+  EXPECT_DOUBLE_EQ(flat[0].second, 3.0);
+  EXPECT_EQ(flat[1].first, "b.level");
+  EXPECT_DOUBLE_EQ(flat[1].second, 2.5);
+  EXPECT_EQ(flat[2].first, "c.dist_count");
+  EXPECT_DOUBLE_EQ(flat[2].second, 2.0);
+  EXPECT_EQ(flat[3].first, "c.dist_mean");
+  EXPECT_DOUBLE_EQ(flat[3].second, 2.0);
+  EXPECT_EQ(flat[4].first, "c.dist_p90");
+  EXPECT_DOUBLE_EQ(flat[4].second, h.quantile(0.9));
+}
+
 // --- JSONL snapshots --------------------------------------------------------
 
 TEST(Snapshot, RoundTripPreservesEveryMetric) {

@@ -24,6 +24,9 @@
 // as many rounds as an oracle-driven twin.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/invariants.hpp"
 #include "core/network.hpp"
@@ -52,22 +55,58 @@ core::SmallWorldNetwork chain_network(std::size_t n, std::uint64_t seed) {
   return network;
 }
 
+/// Reads the `"perf_smoke_min_ratio": X` field out of a BENCH_*.json
+/// artifact, so the CI floor lives next to the measured numbers it guards
+/// instead of being a constant in this file.  Returns false if the file or
+/// field is missing.
+bool read_min_ratio(const std::string& path, double* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string needle = "\"perf_smoke_min_ratio\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  return std::sscanf(text.c_str() + colon + 1, "%lf", out) == 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::int64_t n = 2048;
   std::int64_t seed = 20120521;
-  double min_ratio = 20.0;
+  double min_ratio = 0.0;  // 0 = unset: --bench-json floor, else 20
+  std::string bench_json;
   util::Cli cli("perf smoke: convergence predicates must stay O(1)");
   cli.flag("n", "network size for the timing comparison", &n);
   cli.flag("seed", "rng seed", &seed);
   cli.flag("min-ratio",
-           "minimum oracle/tracked time ratio per predicate evaluation",
+           "minimum oracle/tracked time ratio per predicate evaluation "
+           "(overrides --bench-json)",
            &min_ratio);
+  cli.flag("bench-json",
+           "BENCH artifact carrying the perf_smoke_min_ratio floor "
+           "(e.g. BENCH_convergence.json)",
+           &bench_json);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
   if (n < 4) {
     std::fprintf(stderr, "--n must be at least 4\n");
     return 2;
+  }
+  if (min_ratio <= 0.0) {
+    if (!bench_json.empty()) {
+      if (!read_min_ratio(bench_json, &min_ratio)) {
+        std::fprintf(stderr, "no perf_smoke_min_ratio in %s\n",
+                     bench_json.c_str());
+        return 2;
+      }
+      std::printf("floor from %s: %.1fx\n", bench_json.c_str(), min_ratio);
+    } else {
+      min_ratio = 20.0;
+    }
   }
 
   // Stabilized ring with a short burn-in so lrls are spread: the regime

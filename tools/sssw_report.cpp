@@ -1,0 +1,115 @@
+// sssw_report — aggregates a sweep directory into artifacts (stage 2).
+//
+//   ./sssw_report --runs results/runs/smoke
+//   ./sssw_report --runs results/runs/default
+//       --patch EXPERIMENTS.md --report-md results/REPORT.md
+//
+// Loads every cell meta.json under the sweep directory written by
+// tools/sssw_sweep and renders:
+//
+//   <runs>/runs.csv           one row per cell, axes + sorted metric union
+//   <runs>/report/index.html  self-contained page (inline SVG, no assets)
+//   --report-md FILE          the full results/REPORT.md, regenerated
+//   --patch FILE              replaces the `<!-- sssw:table NAME -->` ...
+//                             `<!-- /sssw:table -->` blocks in a Markdown
+//                             doc (EXPERIMENTS.md) with this run's tables
+//
+// All outputs are pure functions of the cell files — no timestamps, no
+// machine info — so the same matrix at the same seeds reproduces every
+// artifact byte-for-byte (the property the sweep-smoke CI job asserts).
+//
+// Exit codes: 0 ok, 1 failed cells present in the run, 2 usage/missing run.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/report.hpp"
+#include "util/cli.hpp"
+
+using namespace sssw;
+
+namespace {
+
+bool write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string runs_dir;
+  std::string patch_path;
+  std::string report_md;
+  util::Cli cli("sweep report generator (stage 2; see sssw_sweep)");
+  cli.flag("runs", "sweep directory written by sssw_sweep", &runs_dir);
+  cli.flag("patch", "Markdown file whose sssw:table blocks get regenerated",
+           &patch_path);
+  cli.flag("report-md", "write the full Markdown report to this file",
+           &report_md);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
+  if (runs_dir.empty()) {
+    std::fprintf(stderr, "--runs is required\n%s", cli.help().c_str());
+    return 2;
+  }
+
+  const auto run = analysis::load_sweep_run(runs_dir);
+  if (!run) {
+    std::fprintf(stderr, "%s: no parseable sweep.json (run sssw_sweep first)\n",
+                 runs_dir.c_str());
+    return 2;
+  }
+
+  const std::filesystem::path root(runs_dir);
+  if (!write_file(root / "runs.csv", analysis::render_runs_csv(*run))) return 2;
+  std::filesystem::create_directories(root / "report");
+  if (!write_file(root / "report" / "index.html",
+                  analysis::render_index_html(*run)))
+    return 2;
+  std::printf("wrote %s and %s (%zu cells)\n",
+              (root / "runs.csv").string().c_str(),
+              (root / "report" / "index.html").string().c_str(),
+              run->cells.size());
+
+  if (!report_md.empty()) {
+    if (!write_file(report_md, analysis::render_report_md(*run))) return 2;
+    std::printf("wrote %s\n", report_md.c_str());
+  }
+
+  if (!patch_path.empty()) {
+    std::ifstream in(patch_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", patch_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string document = buffer.str();
+    std::size_t patched = 0;
+    for (const analysis::ExperimentDescriptor& experiment :
+         analysis::all_experiments()) {
+      const std::string name(experiment.name);
+      const std::string table = analysis::render_markdown_table(*run, name);
+      if (table.empty()) continue;  // experiment not in this run
+      if (analysis::patch_marked_block(&document, name, table)) ++patched;
+    }
+    if (!write_file(patch_path, document)) return 2;
+    std::printf("patched %zu table block(s) in %s\n", patched,
+                patch_path.c_str());
+  }
+
+  std::size_t failed = 0;
+  for (const analysis::CellMeta& cell : run->cells)
+    if (!cell.ok()) ++failed;
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu cell(s) in the run are failed\n", failed);
+    return 1;
+  }
+  return 0;
+}

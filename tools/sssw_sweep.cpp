@@ -1,0 +1,96 @@
+// sssw_sweep — the experiment-matrix runner (stage 1 of the report pipeline).
+//
+//   ./sssw_sweep --config bench/experiments/smoke.cfg --jobs 4
+//   ./sssw_sweep --config ... --resume        # skip cells already done
+//   ./sssw_sweep --config ... --dry-run       # print the plan, run nothing
+//   ./sssw_sweep --config ... --annotate BENCH_convergence.json
+//
+// Reads a matrix config (see bench/experiments/*.cfg and doc/BENCHMARKS.md),
+// expands the experiment × n × shape × scheduler × fault × ablation × seed
+// cross product, and executes the cells with bounded concurrency, writing
+// results/runs/<name>/<cell-hash>/{meta.json, metrics.jsonl}.  Stage 2 is
+// tools/sssw_report, which aggregates the cells into runs.csv, a static
+// HTML report, and the Markdown tables in the docs.
+//
+// --annotate stamps the current provenance (git sha, matrix hash, machine)
+// into an existing JSON artifact instead of running anything — the
+// mechanism that keeps BENCH_convergence.json's provenance machine-written.
+//
+// Exit codes: 0 all cells ok, 1 at least one cell failed, 2 usage/config.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/sweep.hpp"
+#include "util/cli.hpp"
+
+using namespace sssw;
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string out_root = "results/runs";
+  std::string annotate;
+  std::int64_t jobs = 0;
+  bool resume = false;
+  bool dry_run = false;
+  bool fail_fast = false;
+  util::Cli cli("experiment-matrix sweep runner (stage 1; see sssw_report)");
+  cli.flag("config", "matrix config file (bench/experiments/*.cfg)", &config_path);
+  cli.flag("out", "root directory for per-cell results", &out_root);
+  cli.flag("jobs", "concurrent cells (0 = the config's jobs key)", &jobs);
+  cli.flag("resume", "skip cells whose meta.json already records ok", &resume);
+  cli.flag("dry-run", "print the expanded plan and execute nothing", &dry_run);
+  cli.flag("fail-fast", "stop scheduling new cells after the first failure",
+           &fail_fast);
+  cli.flag("annotate",
+           "instead of running: stamp provenance into this JSON artifact",
+           &annotate);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
+  if (config_path.empty()) {
+    std::fprintf(stderr, "--config is required\n%s", cli.help().c_str());
+    return 2;
+  }
+
+  analysis::SweepParseError error;
+  const auto config = analysis::load_sweep_config(config_path, &error);
+  if (!config) {
+    std::fprintf(stderr, "%s: %s\n", config_path.c_str(),
+                 error.to_string().c_str());
+    return 2;
+  }
+
+  if (!annotate.empty()) {
+    std::ifstream in(annotate);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", annotate.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto rewritten = analysis::annotate_provenance(
+        buffer.str(), analysis::collect_provenance(*config));
+    if (!rewritten) {
+      std::fprintf(stderr, "%s is not a JSON object\n", annotate.c_str());
+      return 2;
+    }
+    std::ofstream out(annotate, std::ios::trunc);
+    out << *rewritten;
+    std::printf("annotated %s with matrix %s provenance\n", annotate.c_str(),
+                config->name.c_str());
+    return 0;
+  }
+
+  analysis::SweepRunOptions options;
+  options.out_root = out_root;
+  options.jobs = static_cast<std::size_t>(jobs > 0 ? jobs : 0);
+  options.resume = resume;
+  options.dry_run = dry_run;
+  options.fail_fast = fail_fast;
+  options.log = &std::cout;
+  const analysis::SweepSummary summary = analysis::run_sweep(*config, options);
+  std::printf("planned %zu, executed %zu, skipped %zu, failed %zu -> %s\n",
+              summary.planned, summary.executed, summary.skipped,
+              summary.failed, summary.exp_dir.string().c_str());
+  return summary.failed > 0 ? 1 : 0;
+}
