@@ -93,7 +93,7 @@ void BM_Churn_CrashHeal(benchmark::State& state) {
       obs::Registry registry;
       network.attach_metrics(registry);  // healing phase only (post-burn-in)
       util::Rng rng(seed ^ 0x63726173ull);
-      const auto ids = network.engine().ids();
+      const auto ids = network.engine().id_span();
       network.crash(ids[rng.below(ids.size())]);
       const auto rounds = network.run_until_sorted_ring(400 * n + 4000);
       if (rounds.has_value()) {
@@ -129,7 +129,7 @@ void BM_Churn_LeaveVsCrash(benchmark::State& state) {
         config.detector.enabled = use_crash;  // leave needs no detection
         core::SmallWorldNetwork network = bench::stabilized(n, seed, 4 * n, config);
         util::Rng rng(seed ^ 0x6c766373ull);  // same victim both ways
-        const auto ids = network.engine().ids();
+        const auto ids = network.engine().id_span();
         const sim::Id victim = ids[rng.below(ids.size())];
         if (use_crash)
           network.crash(victim);

@@ -24,7 +24,7 @@ void BM_Probing_HopsVsDistance(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   core::SmallWorldNetwork network = bench::stabilized(n, bench::kBaseSeed, 4 * n);
   const core::IdIndex index = network.make_index();
-  const auto ids = network.engine().ids();
+  const auto ids = network.engine().id_span();
 
   std::vector<double> distances, hops;
   double reached = 0.0, probes = 0.0;
@@ -72,7 +72,7 @@ void BM_Probing_OwnLrlProbes(benchmark::State& state) {
   for (auto _ : state) {
     hops.clear();
     reached = total = 0;
-    for (const sim::Id id : network.engine().ids()) {
+    for (const sim::Id id : network.engine().id_span()) {
       const sim::Id target = network.node(id)->lrl();
       if (target == id) continue;
       const auto probe = routing::probe_walk(network, id, target, 16 * n);

@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
       do {
         fresh = rng.uniform();
       } while (fresh == 0.0 || net.engine().contains(fresh));
-      const auto ids = net.engine().ids();
+      const auto ids = net.engine().id_span();
       net.join(fresh, ids[rng.below(ids.size())]);
     } else {
-      const auto ids = net.engine().ids();
+      const auto ids = net.engine().id_span();
       net.leave(ids[rng.below(ids.size())]);
     }
     const auto rounds = net.run_until_sorted_ring(200000);

@@ -10,6 +10,7 @@
 // each join/leave the ownership moves, and as soon as the ring re-closes all
 // lookups resolve to the correct owner again.
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "core/network.hpp"
@@ -26,7 +27,7 @@ namespace {
 
 /// The identifier that owns `key`: the smallest node id ≥ key, wrapping to
 /// the minimum (consistent hashing's successor rule).
-sim::Id owner_of(const std::vector<sim::Id>& sorted_ids, double key) {
+sim::Id owner_of(std::span<const sim::Id> sorted_ids, double key) {
   const auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), key);
   return it == sorted_ids.end() ? sorted_ids.front() : *it;
 }
@@ -41,7 +42,7 @@ LookupStats run_lookups(const core::SmallWorldNetwork& net,
                         const std::vector<double>& keys, util::Rng& rng) {
   const core::IdIndex index(net.engine());
   const auto graph = core::view_cp(net.engine(), index);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   std::vector<double> hops;
   double correct = 0;
   for (const double key : keys) {
@@ -94,10 +95,10 @@ int main(int argc, char** argv) {
       do {
         fresh = rng.uniform();
       } while (fresh == 0.0 || net.engine().contains(fresh));
-      const auto ids = net.engine().ids();
+      const auto ids = net.engine().id_span();
       net.join(fresh, ids[rng.below(ids.size())]);
     } else {
-      const auto ids = net.engine().ids();
+      const auto ids = net.engine().id_span();
       net.leave(ids[rng.below(ids.size())]);
     }
     const auto rounds = net.run_until_sorted_ring(200000);

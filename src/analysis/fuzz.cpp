@@ -173,7 +173,8 @@ std::uint64_t fold_counters(const sim::EngineCounters& counters) {
   return hash;
 }
 
-core::SmallWorldNetwork build_network(const FuzzCase& c, bool paranoid) {
+core::SmallWorldNetwork build_network(const FuzzCase& c, bool paranoid,
+                                      std::size_t shards) {
   util::Rng rng(c.seed);
   auto ids = core::random_ids(c.n, rng);
   core::NetworkOptions options;
@@ -184,6 +185,7 @@ core::SmallWorldNetwork build_network(const FuzzCase& c, bool paranoid) {
   options.adversary_delay = c.adversary_delay;
   options.message_loss = c.message_loss;
   options.verify_tracker = paranoid;
+  options.shards = shards;
   core::SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(c.shape, std::move(ids), rng));
   return net;
@@ -211,7 +213,8 @@ std::vector<sim::Id> pick_crash_ids(const FuzzCase& c, const sim::Engine& engine
 
 FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
   c.faults.validate();
-  core::SmallWorldNetwork net = build_network(c, options.paranoid);
+  core::SmallWorldNetwork net =
+      build_network(c, options.paranoid, options.shards);
   const sim::Engine& engine = net.engine();
 
   const bool has_partition = c.faults.partition_rounds > 0;

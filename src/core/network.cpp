@@ -12,6 +12,7 @@ using sim::kPosInf;
 
 SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
     : options_(options),
+      store_(std::make_unique<NodeStore>(options.protocol)),
       engine_(sim::EngineConfig{
           .scheduler = options.scheduler,
           .seed = options.seed,
@@ -19,11 +20,12 @@ SmallWorldNetwork::SmallWorldNetwork(NetworkOptions options)
           .delivery_probability = options.delivery_probability,
           .message_loss = options.message_loss,
           .faults = options.faults,
-          .adversary_delay = options.adversary_delay}),
+          .adversary_delay = options.adversary_delay,
+          .shards = options.shards}),
       tracker_(std::make_unique<InvariantTracker>()) {}
 
 void SmallWorldNetwork::add_node(const NodeInit& init) {
-  auto node = std::make_unique<SmallWorldNode>(init, options_.protocol);
+  auto node = std::make_unique<SmallWorldNode>(init, *store_);
   if (node_metrics_ != nullptr) node->set_metrics(node_metrics_.get());
   SmallWorldNode* raw = node.get();
   engine_.add_process(std::move(node));

@@ -14,6 +14,7 @@
 #include "core/invariant_tracker.hpp"
 #include "core/invariants.hpp"
 #include "core/node.hpp"
+#include "core/node_store.hpp"
 #include "core/node_metrics.hpp"
 #include "core/views.hpp"
 #include "sim/engine.hpp"
@@ -38,6 +39,10 @@ struct NetworkOptions {
   /// kAdversarialOldestLast only: rounds each message is held before its
   /// channel sees it (see sim::EngineConfig::adversary_delay).
   std::uint32_t adversary_delay = 3;
+  /// Worker lanes per synchronous-family round (see sim::EngineConfig::
+  /// shards).  Bit-identical trajectories for every value >= 1 — a pure
+  /// wall-clock knob for large runs.
+  std::size_t shards = 1;
   /// Debug mode: cross-check the incremental invariant tracker against the
   /// recompute oracle on every sorted_list/sorted_ring/phase query.  O(n+m)
   /// per query — for tests and the fuzzer's --paranoid mode, not production.
@@ -123,6 +128,11 @@ class SmallWorldNetwork {
 
  private:
   NetworkOptions options_;
+  /// Shared struct-of-arrays backing store for every node's hot state.
+  /// Behind unique_ptr for address stability across network moves; declared
+  /// before engine_ so it outlives the nodes (which release their slots on
+  /// destruction).
+  std::unique_ptr<NodeStore> store_;
   sim::Engine engine_;
   /// Always on; behind unique_ptr so node back-pointers survive network
   /// moves (make_stable_ring / snapshot restore return networks by value).

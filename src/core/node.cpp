@@ -40,22 +40,39 @@ const char* msg_type_name(sim::MessageType type) noexcept {
 
 SmallWorldNode::SmallWorldNode(const NodeInit& init, const Config& config)
     : sim::Process(sim::kSmallWorldProcess),
-      config_(config),
       id_(init.id),
-      l_(init.l),
-      r_(init.r),
-      ring_(init.ring) {
+      owned_store_(std::make_unique<NodeStore>(config)),
+      store_(owned_store_.get()),
+      slot_(store_->acquire()) {
+  init_state(init);
+}
+
+SmallWorldNode::SmallWorldNode(const NodeInit& init, NodeStore& store)
+    : sim::Process(sim::kSmallWorldProcess),
+      id_(init.id),
+      store_(&store),
+      slot_(store_->acquire()) {
+  init_state(init);
+}
+
+SmallWorldNode::~SmallWorldNode() { store_->release(slot_); }
+
+void SmallWorldNode::init_state(const NodeInit& init) {
   SSSW_CHECK_MSG(is_node_id(id_), "node id must be finite");
-  SSSW_CHECK_MSG(l_ == kNegInf || l_ < id_, "initial l must be < id or -inf");
-  SSSW_CHECK_MSG(r_ == kPosInf || r_ > id_, "initial r must be > id or +inf");
-  SSSW_CHECK_MSG(config_.lrl_count >= 1, "lrl_count must be at least 1");
-  lrls_.resize(config_.lrl_count);
-  lrls_.front().target = init.lrl;  // the paper's single p.lrl
-  for (std::size_t i = 1; i < lrls_.size(); ++i) lrls_[i].target = id_;
-  if (config_.detector.enabled) {
-    detector_ = std::make_unique<FailureDetector>(id_, config_.detector,
-                                                  config_.lrl_count);
-    pointer_scratch_.resize(FailureDetector::kRoleLrlBase + config_.lrl_count);
+  SSSW_CHECK_MSG(init.l == kNegInf || init.l < id_,
+                 "initial l must be < id or -inf");
+  SSSW_CHECK_MSG(init.r == kPosInf || init.r > id_,
+                 "initial r must be > id or +inf");
+  lv() = init.l;
+  rv() = init.r;
+  ringv() = init.ring;
+  const std::span<LongRangeLink> ls = links();
+  ls.front().target = init.lrl;  // the paper's single p.lrl
+  for (std::size_t i = 1; i < ls.size(); ++i) ls[i].target = id_;
+  if (config().detector.enabled) {
+    detector_ = std::make_unique<FailureDetector>(id_, config().detector,
+                                                  config().lrl_count);
+    pointer_scratch_.resize(FailureDetector::kRoleLrlBase + config().lrl_count);
   }
 }
 
@@ -79,7 +96,7 @@ void SmallWorldNode::notify_forget() {
 
 void SmallWorldNode::reset_lrls_matching(Id id) noexcept {
   bool changed = false;
-  for (LongRangeLink& link : lrls_) {
+  for (LongRangeLink& link : links()) {
     if (link.target == id) {
       link.target = id_;
       changed = true;
@@ -90,47 +107,47 @@ void SmallWorldNode::reset_lrls_matching(Id id) noexcept {
 }
 
 bool SmallWorldNode::has_ring_edge() const noexcept {
-  return (l_ == kNegInf || r_ == kPosInf) && is_node_id(ring_) && ring_ != id_;
+  return (lv() == kNegInf || rv() == kPosInf) && is_node_id(ringv()) && ringv() != id_;
 }
 
 void SmallWorldNode::tidy_ring() noexcept {
-  if (l_ != kNegInf && r_ != kPosInf) ring_ = id_;
+  if (lv() != kNegInf && rv() != kPosInf) ringv() = id_;
 }
 
 // --- long-range-link helpers ------------------------------------------------
 
 SmallWorldNode::LongRangeLink* SmallWorldNode::link_for_response(Id responder) noexcept {
-  if (lrls_.size() == 1) return &lrls_.front();  // paper semantics: always move
-  for (LongRangeLink& link : lrls_)
+  if (links().size() == 1) return &links().front();  // paper semantics: always move
+  for (LongRangeLink& link : links())
     if (link.target == responder) return &link;
   return nullptr;  // stale response for a link that moved on: drop
 }
 
 Id SmallWorldNode::best_right_shortcut(Id bound) const noexcept {
   Id best = kNegInf;
-  for (const LongRangeLink& link : lrls_)
-    if (link.target <= bound && link.target > r_ && link.target > best)
+  for (const LongRangeLink& link : links())
+    if (link.target <= bound && link.target > rv() && link.target > best)
       best = link.target;
   return best;
 }
 
 Id SmallWorldNode::best_left_shortcut(Id bound) const noexcept {
   Id best = kPosInf;
-  for (const LongRangeLink& link : lrls_)
-    if (link.target >= bound && link.target < l_ && link.target < best)
+  for (const LongRangeLink& link : links())
+    if (link.target >= bound && link.target < lv() && link.target < best)
       best = link.target;
   return best == kPosInf ? kNegInf : best;
 }
 
 Id SmallWorldNode::min_lrl() const noexcept {
-  Id best = lrls_.front().target;
-  for (const LongRangeLink& link : lrls_) best = std::min(best, link.target);
+  Id best = links().front().target;
+  for (const LongRangeLink& link : links()) best = std::min(best, link.target);
   return best;
 }
 
 Id SmallWorldNode::max_lrl() const noexcept {
-  Id best = lrls_.front().target;
-  for (const LongRangeLink& link : lrls_) best = std::max(best, link.target);
+  Id best = links().front().target;
+  for (const LongRangeLink& link : links()) best = std::max(best, link.target);
   return best;
 }
 
@@ -143,13 +160,13 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
   // Heartbeats for the failure detector: a neighbour's lin announcement, a
   // reslrl response from a link endpoint, a resring from the ring walk.
   if (m.type == kLin) {
-    if (m.id1 == l_) silence_l_ = 0;
-    if (m.id1 == r_) silence_r_ = 0;
+    if (m.id1 == lv()) silence_l_ = 0;
+    if (m.id1 == rv()) silence_r_ = 0;
   } else if (m.type == kReslrl) {
     if (LongRangeLink* link = link_for_response(m.id3)) link->silence = 0;
   } else if (m.type == kResring) {
     silence_ring_ = 0;
-  } else if (m.type == kRing && m.id1 == ring_) {
+  } else if (m.type == kRing && m.id1 == ringv()) {
     // In the closed ring min and max announce to each other every round;
     // the counterpart's ring message is the steady-state heartbeat (no
     // resring flows once the walk has converged).
@@ -160,10 +177,10 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
       linearize(ctx, m.id1);
       break;
     case kInclrl:
-      if (config_.move_and_forget_enabled) respond_lrl(ctx, m.id1);
+      if (config().move_and_forget_enabled) respond_lrl(ctx, m.id1);
       break;
     case kReslrl:
-      if (config_.move_and_forget_enabled) move_forget(ctx, m.id1, m.id2, m.id3);
+      if (config().move_and_forget_enabled) move_forget(ctx, m.id1, m.id2, m.id3);
       break;
     case kRing:
       respond_ring(ctx, m.id1);
@@ -189,10 +206,10 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
       // on its own side; refusing would turn any transient one-sided
       // suspicion (a lost pong, an unlucky tick) mutual and self-fulfilling,
       // and under message loss both sides end up evicting a live neighbour.
-      if (config_.detector.enabled && is_node_id(m.id1) &&
+      if (config().detector.enabled && is_node_id(m.id1) &&
           !is_suspected(m.id1) &&
           !(detector_ != nullptr && detector_->is_quarantined(m.id1, now_))) {
-        ctx.send(m.id1, sim::Message{kPong, l_, r_, id_});
+        ctx.send(m.id1, sim::Message{kPong, lv(), rv(), id_});
         if (metrics_ != nullptr) metrics_->detector_acks.add(1);
       }
       break;
@@ -209,7 +226,7 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
 
 void SmallWorldNode::suspect(Id id) {
   if (!is_node_id(id) || id == id_) return;
-  const std::uint64_t until = detector_ticks_ + 4ull * config_.failure_timeout;
+  const std::uint64_t until = detector_ticks_ + 4ull * config().failure_timeout;
   for (auto& entry : suspects_) {
     if (entry.first == id) {
       entry.second = until;
@@ -247,18 +264,18 @@ void SmallWorldNode::apply_eviction(sim::Context& ctx,
   // Purge every slot still holding the dead id, not just the role that
   // crossed the threshold — the id is quarantined now, so the other slots'
   // monitors could only rediscover the same verdict more slowly.
-  if (l_ == target) {
-    l_ = kNegInf;
+  if (lv() == target) {
+    lv() = kNegInf;
     silence_l_ = 0;
     notify_list();
   }
-  if (r_ == target) {
-    r_ = kPosInf;
+  if (rv() == target) {
+    rv() = kPosInf;
     silence_r_ = 0;
     notify_list();
   }
-  if (ring_ == target) {
-    ring_ = id_;
+  if (ringv() == target) {
+    ringv() = id_;
     silence_ring_ = 0;
   }
   reset_lrls_matching(target);
@@ -282,13 +299,13 @@ void SmallWorldNode::on_timer(sim::Context& ctx, std::uint64_t tag) {
   now_ = ctx.round();
   // Re-arm first: the probe clock must keep beating even if an eviction
   // below throws the node into repair.
-  ctx.schedule_timer(config_.detector.probe_period,
+  ctx.schedule_timer(config().detector.probe_period,
                      FailureDetector::kProbeTimerTag);
-  pointer_scratch_[FailureDetector::kRoleL] = l_;
-  pointer_scratch_[FailureDetector::kRoleR] = r_;
-  pointer_scratch_[FailureDetector::kRoleRing] = ring_;
-  for (std::size_t i = 0; i < lrls_.size(); ++i) {
-    pointer_scratch_[FailureDetector::kRoleLrlBase + i] = lrls_[i].target;
+  pointer_scratch_[FailureDetector::kRoleL] = lv();
+  pointer_scratch_[FailureDetector::kRoleR] = rv();
+  pointer_scratch_[FailureDetector::kRoleRing] = ringv();
+  for (std::size_t i = 0; i < links().size(); ++i) {
+    pointer_scratch_[FailureDetector::kRoleLrlBase + i] = links()[i].target;
   }
   detector_->tick(now_, pointer_scratch_);
   for (const FailureDetector::Probe& probe : detector_->probes()) {
@@ -305,26 +322,26 @@ void SmallWorldNode::on_timer(sim::Context& ctx, std::uint64_t tag) {
 }
 
 void SmallWorldNode::tick_failure_detector() {
-  if (config_.failure_timeout == 0) return;
+  if (config().failure_timeout == 0) return;
   ++detector_ticks_;
-  const std::uint32_t timeout = config_.failure_timeout;
-  if (l_ != kNegInf && ++silence_l_ > timeout) {
-    suspect(l_);
-    l_ = kNegInf;
+  const std::uint32_t timeout = config().failure_timeout;
+  if (lv() != kNegInf && ++silence_l_ > timeout) {
+    suspect(lv());
+    lv() = kNegInf;
     silence_l_ = 0;
     notify_list();
     if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
-  if (r_ != kPosInf && ++silence_r_ > timeout) {
-    suspect(r_);
-    r_ = kPosInf;
+  if (rv() != kPosInf && ++silence_r_ > timeout) {
+    suspect(rv());
+    rv() = kPosInf;
     silence_r_ = 0;
     notify_list();
     if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
-  if (config_.move_and_forget_enabled) {
+  if (config().move_and_forget_enabled) {
     bool links_changed = false;
-    for (LongRangeLink& link : lrls_) {
+    for (LongRangeLink& link : links()) {
       if (link.target != id_ && ++link.silence > timeout) {
         suspect(link.target);
         link.target = id_;  // give up on a silent endpoint: token restarts
@@ -339,10 +356,10 @@ void SmallWorldNode::tick_failure_detector() {
     }
     if (links_changed) notify_lrl();
   }
-  if (ring_ != id_ && ++silence_ring_ > timeout) {
+  if (ringv() != id_ && ++silence_ring_ > timeout) {
     // The ring target is usually alive (the walk is just unfinished): reset
     // without suspicion so the walk can revisit it.
-    ring_ = id_;
+    ringv() = id_;
     silence_ring_ = 0;
     if (metrics_ != nullptr) metrics_->detector_timeouts.add(1);
   }
@@ -353,16 +370,16 @@ void SmallWorldNode::on_regular(sim::Context& ctx) {
   if (detector_ != nullptr && !probe_timer_armed_) {
     // Armed lazily on the first regular action rather than at construction:
     // a Process only gains a Context once it is registered with an engine.
-    ctx.schedule_timer(config_.detector.probe_period,
+    ctx.schedule_timer(config().detector.probe_period,
                        FailureDetector::kProbeTimerTag);
     probe_timer_armed_ = true;
   }
   tick_failure_detector();
   send_id(ctx);
-  if (config_.probing_enabled) {
+  if (config().probing_enabled) {
     if (probe_countdown_ == 0) {
       probing(ctx);
-      probe_countdown_ = config_.probe_interval > 0 ? config_.probe_interval - 1 : 0;
+      probe_countdown_ = config().probe_interval > 0 ? config().probe_interval - 1 : 0;
     } else {
       --probe_countdown_;
     }
@@ -378,39 +395,39 @@ void SmallWorldNode::linearize(sim::Context& ctx, Id id) {
   if (!is_node_id(id)) return;
   if (is_dead(id)) return;  // quarantined: neither adopt nor spread
   if (id > id_) {
-    if (id < r_) {
-      if (r_ < kPosInf) send(ctx, id, kLin, r_);
-      r_ = id;
+    if (id < rv()) {
+      if (rv() < kPosInf) send(ctx, id, kLin, rv());
+      rv() = id;
       silence_r_ = 0;
       tidy_ring();
       notify_list();
       if (metrics_ != nullptr) metrics_->linearize_adoptions.add(1);
     } else {
       const Id shortcut =
-          config_.lrl_shortcut ? best_right_shortcut(id) : kNegInf;
+          config().lrl_shortcut ? best_right_shortcut(id) : kNegInf;
       // The paper's guard is strict (m.id > p.lrl > p.r); a shortcut equal
       // to id would self-deliver a no-op, so exclude it.
       if (is_node_id(shortcut) && shortcut != id) {
         send(ctx, shortcut, kLin, id);
       } else {
-        send(ctx, r_, kLin, id);
+        send(ctx, rv(), kLin, id);
       }
       if (metrics_ != nullptr) metrics_->linearize_forwards.add(1);
     }
   } else if (id < id_) {
-    if (id > l_) {
-      if (l_ > kNegInf) send(ctx, id, kLin, l_);
-      l_ = id;
+    if (id > lv()) {
+      if (lv() > kNegInf) send(ctx, id, kLin, lv());
+      lv() = id;
       silence_l_ = 0;
       tidy_ring();
       notify_list();
       if (metrics_ != nullptr) metrics_->linearize_adoptions.add(1);
     } else {
-      const Id shortcut = config_.lrl_shortcut ? best_left_shortcut(id) : kNegInf;
+      const Id shortcut = config().lrl_shortcut ? best_left_shortcut(id) : kNegInf;
       if (is_node_id(shortcut) && shortcut != id) {
         send(ctx, shortcut, kLin, id);
       } else {
-        send(ctx, l_, kLin, id);
+        send(ctx, lv(), kLin, id);
       }
       if (metrics_ != nullptr) metrics_->linearize_forwards.add(1);
     }
@@ -426,15 +443,15 @@ void SmallWorldNode::respond_lrl(sim::Context& ctx, Id origin) {
   if (!is_node_id(origin)) return;
   // id3 identifies the responder so the origin can match the response to
   // the right link (only needed for lrl_count > 1; harmless otherwise).
-  if (l_ > kNegInf && r_ < kPosInf) {
-    ctx.send(origin, sim::Message{kReslrl, l_, r_, id_});
-  } else if (l_ > kNegInf && r_ == kPosInf) {
+  if (lv() > kNegInf && rv() < kPosInf) {
+    ctx.send(origin, sim::Message{kReslrl, lv(), rv(), id_});
+  } else if (lv() > kNegInf && rv() == kPosInf) {
     // This node is a max candidate: its "right" wraps to the ring target.
-    ctx.send(origin, sim::Message{kReslrl, l_, ring_, id_});
-  } else if (l_ == kNegInf && r_ < kPosInf) {
+    ctx.send(origin, sim::Message{kReslrl, lv(), ringv(), id_});
+  } else if (lv() == kNegInf && rv() < kPosInf) {
     // Min candidate: its "left" wraps to the ring target.  (The paper prints
     // (p.ring, p.l) here — see the header comment for why that must be p.r.)
-    ctx.send(origin, sim::Message{kReslrl, ring_, r_, id_});
+    ctx.send(origin, sim::Message{kReslrl, ringv(), rv(), id_});
   }
   // l = −∞ and r = ∞: isolated view, no response (paper omits this case too).
 }
@@ -459,12 +476,13 @@ void SmallWorldNode::move_forget(sim::Context& ctx, Id id1, Id id2, Id responder
   }
   link->silence = 0;
   ++link->age;  // one move step completed
-  max_age_ = link->age > max_age_ ? link->age : max_age_;
+  Age& max_seen = store_->max_age(slot_);
+  if (link->age > max_seen) max_seen = link->age;
   if (metrics_ != nullptr) metrics_->lrl_moves.add(1);
-  if (ctx.rng().bernoulli(forget_probability(link->age, config_.epsilon))) {
+  if (ctx.rng().bernoulli(forget_probability(link->age, config().epsilon))) {
     link->target = id_;  // the token restarts its walk from the origin
     link->age = 0;
-    ++forgets_;
+    ++store_->forgets(slot_);
     notify_forget();
     if (metrics_ != nullptr) {
       metrics_->lrl_forgets.add(1);
@@ -483,9 +501,9 @@ void SmallWorldNode::probing_r(sim::Context& ctx, Id target) {
   const Id shortcut = best_right_shortcut(target);
   if (is_node_id(shortcut)) {
     send(ctx, shortcut, kProbr, target);
-  } else if (target >= r_) {
-    send(ctx, r_, kProbr, target);
-  } else if (id_ < target && target < r_) {
+  } else if (target >= rv()) {
+    send(ctx, rv(), kProbr, target);
+  } else if (id_ < target && target < rv()) {
     // Probe cannot advance: the destination lies in our gap — repair.
     if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
     linearize(ctx, target);
@@ -502,9 +520,9 @@ void SmallWorldNode::probing_l(sim::Context& ctx, Id target) {
   const Id shortcut = best_left_shortcut(target);
   if (is_node_id(shortcut)) {
     send(ctx, shortcut, kProbl, target);
-  } else if (target <= l_) {
-    send(ctx, l_, kProbl, target);
-  } else if (id_ > target && target > l_) {
+  } else if (target <= lv()) {
+    send(ctx, lv(), kProbl, target);
+  } else if (id_ > target && target > lv()) {
     if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
     linearize(ctx, target);
   }
@@ -521,28 +539,28 @@ void SmallWorldNode::respond_ring(sim::Context& ctx, Id origin) {
     // or walk its ring edge toward the true max.
     const Id low = min_lrl();
     const Id high = max_lrl();
-    if (l_ < origin) {
-      send(ctx, origin, kLin, l_);
+    if (lv() < origin) {
+      send(ctx, origin, kLin, lv());
     } else if (low < origin) {
       send(ctx, origin, kLin, low);
-    } else if (high > r_) {
+    } else if (high > rv()) {
       send(ctx, origin, kResring, high);
     } else {
-      send(ctx, origin, kResring, r_);
+      send(ctx, origin, kResring, rv());
     }
   } else {
     // Max candidate: symmetric.  (Paper's first branch prints p.l — must be
     // p.r; see header comment.)
     const Id low = min_lrl();
     const Id high = max_lrl();
-    if (r_ > origin) {
-      send(ctx, origin, kLin, r_);
+    if (rv() > origin) {
+      send(ctx, origin, kLin, rv());
     } else if (high > origin) {
       send(ctx, origin, kLin, high);
-    } else if (low < l_) {
+    } else if (low < lv()) {
       send(ctx, origin, kResring, low);
     } else {
-      send(ctx, origin, kResring, l_);
+      send(ctx, origin, kResring, lv());
     }
   }
 }
@@ -553,14 +571,14 @@ void SmallWorldNode::respond_ring(sim::Context& ctx, Id origin) {
 
 void SmallWorldNode::update_ring(Id candidate) {
   if (!is_node_id(candidate) || is_dead(candidate)) return;
-  if (l_ == kNegInf) {
-    if (candidate > ring_) {
-      ring_ = candidate;
+  if (lv() == kNegInf) {
+    if (candidate > ringv()) {
+      ringv() = candidate;
       if (metrics_ != nullptr) metrics_->ring_updates.add(1);
     }
-  } else if (r_ == kPosInf) {
-    if (candidate < ring_) {
-      ring_ = candidate;
+  } else if (rv() == kPosInf) {
+    if (candidate < ringv()) {
+      ringv() = candidate;
       if (metrics_ != nullptr) metrics_->ring_updates.add(1);
     }
   }
@@ -575,20 +593,20 @@ void SmallWorldNode::send_id(sim::Context& ctx) {
   // the ring edge is still the inert self-link (the paper leaves the unset
   // value open), the walk is bootstrapped at the node's other list
   // neighbour: UPDATERING then drives it monotonically to the true max/min.
-  if (l_ > kNegInf) {
-    send(ctx, l_, kLin, id_);
+  if (lv() > kNegInf) {
+    send(ctx, lv(), kLin, id_);
   } else {
-    send(ctx, ring_ != id_ ? ring_ : r_, kRing, id_);
+    send(ctx, ringv() != id_ ? ringv() : rv(), kRing, id_);
   }
-  if (r_ < kPosInf) {
-    send(ctx, r_, kLin, id_);
+  if (rv() < kPosInf) {
+    send(ctx, rv(), kLin, id_);
   } else {
-    send(ctx, ring_ != id_ ? ring_ : l_, kRing, id_);
+    send(ctx, ringv() != id_ ? ringv() : lv(), kRing, id_);
   }
   // Sent even when a link points home (token at home): the node answers
   // itself with its own neighbours and the walk restarts from the origin.
-  if (config_.move_and_forget_enabled)
-    for (const LongRangeLink& link : lrls_) send(ctx, link.target, kInclrl, id_);
+  if (config().move_and_forget_enabled)
+    for (const LongRangeLink& link : links()) send(ctx, link.target, kInclrl, id_);
 }
 
 // ---------------------------------------------------------------------------
@@ -596,40 +614,40 @@ void SmallWorldNode::send_id(sim::Context& ctx) {
 // ---------------------------------------------------------------------------
 
 void SmallWorldNode::probing(sim::Context& ctx) {
-  if (l_ == kNegInf || r_ == kPosInf) {
-    if (is_node_id(ring_) && ring_ != id_) {
-      if (ring_ < id_) {
-        if (ring_ <= l_) {
-          send(ctx, l_, kProbl, ring_);
-        } else if (id_ > ring_ && ring_ > l_) {
+  if (lv() == kNegInf || rv() == kPosInf) {
+    if (is_node_id(ringv()) && ringv() != id_) {
+      if (ringv() < id_) {
+        if (ringv() <= lv()) {
+          send(ctx, lv(), kProbl, ringv());
+        } else if (id_ > ringv() && ringv() > lv()) {
           if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
-          linearize(ctx, ring_);
+          linearize(ctx, ringv());
         }
       } else {
-        if (ring_ >= r_) {
-          send(ctx, r_, kProbr, ring_);
-        } else if (id_ < ring_ && ring_ < r_) {
+        if (ringv() >= rv()) {
+          send(ctx, rv(), kProbr, ringv());
+        } else if (id_ < ringv() && ringv() < rv()) {
           if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
-          linearize(ctx, ring_);
+          linearize(ctx, ringv());
         }
       }
     }
   }
-  if (!config_.move_and_forget_enabled) return;
-  for (std::size_t i = 0; i < lrls_.size(); ++i) {
-    const Id target = lrls_[i].target;
+  if (!config().move_and_forget_enabled) return;
+  for (std::size_t i = 0; i < links().size(); ++i) {
+    const Id target = links()[i].target;
     if (!is_node_id(target) || target == id_) continue;
     if (target < id_) {
-      if (target <= l_) {
-        send(ctx, l_, kProbl, target);
-      } else if (id_ > target && target > l_) {
+      if (target <= lv()) {
+        send(ctx, lv(), kProbl, target);
+      } else if (id_ > target && target > lv()) {
         if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
         linearize(ctx, target);
       }
     } else {
-      if (target >= r_) {
-        send(ctx, r_, kProbr, target);
-      } else if (id_ < target && target < r_) {
+      if (target >= rv()) {
+        send(ctx, rv(), kProbr, target);
+      } else if (id_ < target && target < rv()) {
         if (metrics_ != nullptr) metrics_->probe_repairs.add(1);
         linearize(ctx, target);
       }

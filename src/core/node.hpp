@@ -18,11 +18,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/config.hpp"
 #include "core/detector.hpp"
 #include "core/forget.hpp"
 #include "core/messages.hpp"
+#include "core/node_store.hpp"
 #include "sim/engine.hpp"
 
 namespace sssw::core {
@@ -47,7 +49,17 @@ struct NodeInit {
 
 class SmallWorldNode final : public sim::Process {
  public:
+  /// Standalone construction (tests, single nodes): the node owns a private
+  /// one-slot NodeStore carrying `config`.
   SmallWorldNode(const NodeInit& init, const Config& config);
+  /// Network construction: hot state lives in the shared struct-of-arrays
+  /// `store` (which must outlive the node); the node is a thin view over
+  /// its dense slot.  See core/node_store.hpp.
+  SmallWorldNode(const NodeInit& init, NodeStore& store);
+  ~SmallWorldNode() override;
+
+  SmallWorldNode(const SmallWorldNode&) = delete;
+  SmallWorldNode& operator=(const SmallWorldNode&) = delete;
 
   // --- sim::Process ---------------------------------------------------
   sim::Id id() const noexcept override { return id_; }
@@ -57,23 +69,20 @@ class SmallWorldNode final : public sim::Process {
   /// never fires otherwise — the timer is only armed when a detector exists.
   void on_timer(sim::Context& ctx, std::uint64_t tag) override;
 
-  /// One long-range link: the endpoint of its token's walk plus its age.
-  struct LongRangeLink {
-    sim::Id target;
-    Age age = 0;
-    std::uint32_t silence = 0;  ///< failure-detector bookkeeping
-  };
+  /// One long-range link — see core/node_store.hpp (kept as a nested alias
+  /// for the pre-SoA call sites).
+  using LongRangeLink = core::LongRangeLink;
 
   // --- state inspection (views, invariants, tests) ---------------------
-  sim::Id l() const noexcept { return l_; }
-  sim::Id r() const noexcept { return r_; }
+  sim::Id l() const noexcept { return store_->l(slot_); }
+  sim::Id r() const noexcept { return store_->r(slot_); }
   /// The (first) long-range link — the paper's p.lrl.
-  sim::Id lrl() const noexcept { return lrls_.front().target; }
-  sim::Id ring() const noexcept { return ring_; }
-  Age age() const noexcept { return lrls_.front().age; }
-  /// All long-range links (size = config.lrl_count).
-  const std::vector<LongRangeLink>& lrls() const noexcept { return lrls_; }
-  const Config& config() const noexcept { return config_; }
+  sim::Id lrl() const noexcept { return links().front().target; }
+  sim::Id ring() const noexcept { return store_->ring(slot_); }
+  Age age() const noexcept { return links().front().age; }
+  /// All long-range links (size = config.lrl_count), a view into the store.
+  std::span<const LongRangeLink> lrls() const noexcept { return links(); }
+  const Config& config() const noexcept { return store_->config(); }
 
   /// True when this node stores a ring edge per the paper's rule
   /// ("only set if p.l = −∞ or p.r = ∞") and it is not the inert self-link.
@@ -85,30 +94,31 @@ class SmallWorldNode final : public sim::Process {
   std::size_t quarantined_count() const noexcept;
 
   /// Number of times this node's long-range link was forgotten (reset).
-  std::uint64_t forget_count() const noexcept { return forgets_; }
+  std::uint64_t forget_count() const noexcept { return store_->forgets(slot_); }
   /// Largest age the long-range link ever reached (for E10).
-  Age max_age_seen() const noexcept { return max_age_; }
+  Age max_age_seen() const noexcept { return store_->max_age(slot_); }
 
   // --- state mutation for tests/fault injection/snapshot restore -------
   // Mutators notify the invariant tracker like the protocol actions do, so
   // fault-injection tests can scramble state and the tracked predicates
   // stay exact (the hook contract of invariant_tracker.hpp).
   void set_l(sim::Id v) noexcept {
-    l_ = v;
+    store_->l(slot_) = v;
     notify_list();
   }
   void set_r(sim::Id v) noexcept {
-    r_ = v;
+    store_->r(slot_) = v;
     notify_list();
   }
   void set_lrl(sim::Id v) noexcept {
-    lrls_.front().target = v;
+    links().front().target = v;
     notify_lrl();
   }
-  void set_ring(sim::Id v) noexcept { ring_ = v; }
+  void set_ring(sim::Id v) noexcept { store_->ring(slot_) = v; }
   void set_age(Age v) noexcept {
-    lrls_.front().age = v;
-    max_age_ = v > max_age_ ? v : max_age_;
+    links().front().age = v;
+    Age& seen = store_->max_age(slot_);
+    seen = v > seen ? v : seen;
   }
   /// Resets every long-range link whose target is `id` to home (used by the
   /// fail-stop leave cleanup).
@@ -185,6 +195,22 @@ class SmallWorldNode final : public sim::Process {
   /// with several, the link whose target is the responder, or null.
   LongRangeLink* link_for_response(sim::Id responder) noexcept;
 
+  /// Shared initialization for both constructors (slot already acquired).
+  void init_state(const NodeInit& init);
+
+  // Store-backed hot-state accessors (the pre-SoA member variables).  One
+  // indexed load each; the optimizer folds repeats within an action.
+  sim::Id& lv() noexcept { return store_->l(slot_); }
+  sim::Id lv() const noexcept { return store_->l(slot_); }
+  sim::Id& rv() noexcept { return store_->r(slot_); }
+  sim::Id rv() const noexcept { return store_->r(slot_); }
+  sim::Id& ringv() noexcept { return store_->ring(slot_); }
+  sim::Id ringv() const noexcept { return store_->ring(slot_); }
+  std::span<LongRangeLink> links() noexcept { return store_->lrls(slot_); }
+  std::span<const LongRangeLink> links() const noexcept {
+    return store_->lrls(slot_);
+  }
+
   /// Largest link target t with t ≤ bound and t > r_ (rightward shortcut),
   /// or kNegInf if none; mirror for the leftward query.
   sim::Id best_right_shortcut(sim::Id bound) const noexcept;
@@ -192,16 +218,15 @@ class SmallWorldNode final : public sim::Process {
   sim::Id min_lrl() const noexcept;
   sim::Id max_lrl() const noexcept;
 
-  const Config config_;
   const sim::Id id_;
+  /// Private store for standalone construction; null when the network's
+  /// shared store backs this node.  Declared before store_/slot_ so the
+  /// shared-store members can initialize from it.
+  std::unique_ptr<NodeStore> owned_store_;
+  NodeStore* store_;       ///< hot state lives here; never null, never owned
+  std::size_t slot_;       ///< this node's dense index into *store_
   NodeMetrics* metrics_ = nullptr;           ///< optional shared sink; never owned
   InvariantTracker* tracker_ = nullptr;      ///< optional, never owned
-  sim::Id l_;
-  sim::Id r_;
-  std::vector<LongRangeLink> lrls_;  // size config.lrl_count, ≥ 1
-  sim::Id ring_;
-  Age max_age_ = 0;
-  std::uint64_t forgets_ = 0;
   std::uint32_t probe_countdown_ = 0;
   // Regular actions since the last heartbeat from each stored pointer.
   std::uint32_t silence_l_ = 0;

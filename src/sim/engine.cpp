@@ -1,8 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sssw::sim {
 
@@ -22,56 +24,45 @@ const char* to_string(SchedulerKind kind) noexcept {
   return "unknown";
 }
 
-void Context::send(Id to, const Message& message) {
-  engine_.send(self_, to, message);
-}
-util::Rng& Context::rng() { return engine_.rng_; }
-std::uint64_t Context::round() const noexcept { return engine_.counters_.rounds; }
-
-void Context::schedule_timer(std::uint32_t delay, std::uint64_t tag) {
-  engine_.schedule_timer(self_, delay, tag);
-}
-
 Engine::Engine(EngineConfig config) : config_(config), rng_(config.seed) {
   SSSW_CHECK_MSG(
       config_.delivery_probability > 0.0 && config_.delivery_probability <= 1.0,
       "EngineConfig::delivery_probability must lie in (0, 1]");
   SSSW_CHECK_MSG(config_.message_loss >= 0.0 && config_.message_loss < 1.0,
                  "EngineConfig::message_loss must lie in [0, 1)");
+  SSSW_CHECK_MSG(config_.shards >= 1, "EngineConfig::shards must be >= 1");
   config_.faults.validate();
   const bool oldest_last =
       config_.scheduler == SchedulerKind::kAdversarialOldestLast;
   if (oldest_last)
     SSSW_CHECK_MSG(config_.adversary_delay >= 1,
                    "EngineConfig::adversary_delay must be >= 1");
+  // Only the async scheduler ever asks "where is the pick-th pending
+  // message?"; everyone else skips the Fenwick bookkeeping on the send path.
+  use_fenwick_ = config_.scheduler == SchedulerKind::kRandomAsync;
   // The injector only exists when it can act, so a default config keeps the
-  // send path (and the RNG stream) bit-identical to earlier revisions.
+  // send path (and the RNG streams) bit-identical to earlier revisions.
   if (config_.faults.active() || oldest_last) {
     faults_ = std::make_unique<FaultInjector>(
         config_.faults, oldest_last ? config_.adversary_delay : 0);
   }
 }
 
-/// Recomputes every live slot's rank and rebuilds the pending-message
-/// Fenwick index from the channels.  O(n); called only on membership
-/// changes, which are rare next to atomic actions.
-void Engine::rebuild_schedule_index() {
+void Engine::ensure_fenwick() {
+  if (!fenwick_dirty_) return;
   rank_counts_.resize(order_.size());
-  pending_total_ = 0;
-  for (std::size_t rank = 0; rank < order_.size(); ++rank) {
-    Slot& slot = slots_[order_[rank]];
-    slot.rank = rank;
-    const std::size_t depth = slot.channel.size();
-    rank_counts_[rank] = static_cast<std::int64_t>(depth);
-    pending_total_ += depth;
-  }
+  for (std::size_t rank = 0; rank < order_.size(); ++rank)
+    rank_counts_[rank] =
+        static_cast<std::int64_t>(slots_[order_[rank]].channel.size());
   pending_by_rank_.assign(rank_counts_);
+  fenwick_dirty_ = false;
 }
 
 void Engine::note_drained(Slot& slot, std::size_t removed) noexcept {
   if (removed == 0) return;
-  pending_by_rank_.add(slot.rank, -static_cast<std::int64_t>(removed));
   pending_total_ -= removed;
+  if (use_fenwick_ && !fenwick_dirty_)
+    pending_by_rank_.add(slot.rank, -static_cast<std::int64_t>(removed));
 }
 
 void Engine::add_process(std::unique_ptr<Process> process) {
@@ -80,16 +71,23 @@ void Engine::add_process(std::unique_ptr<Process> process) {
   SSSW_CHECK_MSG(is_node_id(id), "process identifiers must be finite");
   SSSW_CHECK_MSG(!index_.contains(id), "duplicate process identifier");
   const std::size_t slot = slots_.size();
-  slots_.push_back(Slot{std::move(process), Channel{}});
+  slots_.push_back(Slot{std::move(process), Channel{}, /*rank=*/0,
+                        util::derive_stream(config_.seed,
+                                            std::bit_cast<std::uint64_t>(id))});
   index_.emplace(id, slot);
   // Canonical ordering: insert at the slot's id-sorted position instead of
   // rebuilding from map iteration, so order_ is a pure function of the live
   // id set.  ids_sorted_ is the parallel identifier mirror behind id_span().
+  // Ranks at and after the insertion point shift by one — O(n − rank), which
+  // an ascending bulk load never pays (every insert lands at the end).
   const auto pos = std::lower_bound(ids_sorted_.begin(), ids_sorted_.end(), id);
   const auto rank = static_cast<std::size_t>(pos - ids_sorted_.begin());
   ids_sorted_.insert(pos, id);
   order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(rank), slot);
-  rebuild_schedule_index();
+  slots_[slot].rank = rank;
+  for (std::size_t r = rank + 1; r < order_.size(); ++r)
+    slots_[order_[r]].rank = r;
+  fenwick_dirty_ = true;
 }
 
 bool Engine::remove_process(Id id, bool purge_references) {
@@ -98,12 +96,15 @@ bool Engine::remove_process(Id id, bool purge_references) {
   const std::size_t slot_index = it->second;
   const std::size_t rank = slots_[slot_index].rank;
   SSSW_DCHECK(rank < order_.size() && order_[rank] == slot_index);
+  pending_total_ -= slots_[slot_index].channel.size();
   slots_[slot_index].process.reset();
   slots_[slot_index].channel.clear();
   index_.erase(it);
   order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(rank));
   SSSW_DCHECK(rank < ids_sorted_.size() && ids_sorted_[rank] == id);
   ids_sorted_.erase(ids_sorted_.begin() + static_cast<std::ptrdiff_t>(rank));
+  for (std::size_t r = rank; r < order_.size(); ++r)
+    slots_[order_[r]].rank = r;
   // Fail-stop semantics (§IV.G): "the connections it had to and from other
   // nodes also disappear" — that includes the temporary links formed by
   // in-flight messages carrying the departed identifier.  Without this
@@ -112,6 +113,7 @@ bool Engine::remove_process(Id id, bool purge_references) {
   if (purge_references) {
     for (const std::size_t survivor : order_) {
       const std::size_t purged = slots_[survivor].channel.purge_references(id);
+      pending_total_ -= purged;
       counters_.dropped += purged;
       if (metrics_.dropped) metrics_.dropped->add(purged);
     }
@@ -131,7 +133,7 @@ bool Engine::remove_process(Id id, bool purge_references) {
         bucket, [id](const Timer& timer) { return timer.id == id; });
     timer_count_ -= removed;
   }
-  rebuild_schedule_index();
+  fenwick_dirty_ = true;
   return true;
 }
 
@@ -147,7 +149,9 @@ void Engine::schedule_timer(Id id, std::uint32_t delay, std::uint64_t tag) {
 /// channels exactly like sends from last round's actions.  Re-arming from
 /// inside on_timer targets a strictly later round (delay >= 1), so the loop
 /// terminates.  With no timers armed this is one empty-map check: the
-/// pre-timer trajectory is untouched byte for byte.
+/// pre-timer trajectory is untouched byte for byte.  Always sequential (the
+/// same code at every shard count): timer actions are rare next to protocol
+/// actions, so parallelizing them buys nothing.
 void Engine::fire_due_timers() {
   while (!timers_.empty() && timers_.begin()->first <= counters_.rounds) {
     due_timers_.swap(timers_.begin()->second);
@@ -162,8 +166,9 @@ void Engine::fire_due_timers() {
       ++counters_.timers;
       if (metrics_.actions) metrics_.actions->add();
       if (metrics_.timers) metrics_.timers->add();
-      Context ctx(*this, timer.id);
-      slots_[it->second].process->on_timer(ctx, timer.tag);
+      Slot& slot = slots_[it->second];
+      Context ctx(*this, timer.id, &slot.rng, it->second, nullptr);
+      slot.process->on_timer(ctx, timer.tag);
     }
     due_timers_.clear();
   }
@@ -177,10 +182,6 @@ Process* Engine::find(Id id) noexcept {
 const Process* Engine::find(Id id) const noexcept {
   const auto it = index_.find(id);
   return it == index_.end() ? nullptr : slots_[it->second].process.get();
-}
-
-std::vector<Id> Engine::ids() const {
-  return std::vector<Id>(ids_sorted_.begin(), ids_sorted_.end());
 }
 
 void Engine::for_each(const std::function<void(const Process&)>& fn) const {
@@ -198,16 +199,22 @@ void Engine::enqueue_or_drop(Id to, const Message& message) {
   }
   Slot& slot = slots_[it->second];
   slot.channel.push(message);
-  pending_by_rank_.add(slot.rank, 1);
   ++pending_total_;
+  if (use_fenwick_ && !fenwick_dirty_) pending_by_rank_.add(slot.rank, 1);
 }
 
-void Engine::send(Id from, Id to, const Message& message) {
+void Engine::dispatch_send(std::size_t from_slot, Id to, const Message& message) {
   SSSW_DCHECK(message.type < kMaxMessageTypes);
   ++counters_.sent_by_type[message.type];
   if (metrics_.sent) metrics_.sent->add();
   for (const auto& [id, hook] : send_hooks_) hook(to, message);
-  if (config_.message_loss > 0.0 && rng_.bernoulli(config_.message_loss)) {
+  // Loss and fault fates draw from the *sender's* stream: each process's
+  // draw sequence (protocol flips during its action, then the fates of its
+  // own sends in issue order) is then a pure function of (state, seed),
+  // independent of how many lanes executed the phase.
+  Slot& sender = slots_[from_slot];
+  if (config_.message_loss > 0.0 &&
+      sender.rng.bernoulli(config_.message_loss)) {
     ++counters_.lost;
     if (metrics_.lost) metrics_.lost->add();
     return;
@@ -222,7 +229,7 @@ void Engine::send(Id from, Id to, const Message& message) {
   // hooks, so a trace shows what the protocol did, not what the adversary
   // fabricated.
   const FaultInjector::SendDecision decision = faults_->on_send(
-      from, to, message, counters_.rounds + 1, rng_);
+      sender.process->id(), to, message, counters_.rounds + 1, sender.rng);
   if (decision.duplicated) {
     ++counters_.faults.duplicated;
     if (metrics_.faults_duplicated) metrics_.faults_duplicated->add();
@@ -250,18 +257,31 @@ bool Engine::inject(Id to, const Message& message) {
   if (it == index_.end()) return false;
   Slot& slot = slots_[it->second];
   slot.channel.push(message);
-  pending_by_rank_.add(slot.rank, 1);
   ++pending_total_;
+  if (use_fenwick_ && !fenwick_dirty_) pending_by_rank_.add(slot.rank, 1);
   return true;
 }
 
-void Engine::deliver(Slot& slot, const Message& message) {
+void Engine::deliver(Slot& slot, std::size_t slot_index, const Message& message) {
   ++counters_.deliveries;
   ++counters_.actions;
   if (metrics_.delivered) metrics_.delivered->add();
   if (metrics_.actions) metrics_.actions->add();
   for (const auto& [id, hook] : delivery_hooks_) hook(slot.process->id(), message);
-  Context ctx(*this, slot.process->id());
+  Context ctx(*this, slot.process->id(), &slot.rng, slot_index, nullptr);
+  slot.process->on_message(ctx, message);
+}
+
+void Engine::deliver_buffered(Slot& slot, std::size_t slot_index,
+                              const Message& message, EngineLane& lane) {
+  ++lane.deliveries;
+  ++lane.actions;
+  if (metrics_.delivered) metrics_.delivered->add();
+  if (metrics_.actions) metrics_.actions->add();
+  // A registered delivery hook forces effective_lanes() to 1, so this loop
+  // only ever runs sequentially, in canonical rank order.
+  for (const auto& [id, hook] : delivery_hooks_) hook(slot.process->id(), message);
+  Context ctx(*this, slot.process->id(), &slot.rng, slot_index, &lane);
   slot.process->on_message(ctx, message);
 }
 
@@ -277,48 +297,107 @@ void Engine::finish_round() {
   for (const auto& [id, hook] : round_hooks_) hook(counters_.rounds);
 }
 
-void Engine::run_synchronous_round(ReceiptOrder order, bool shuffle_nodes) {
-  // Snapshot the node order; joins/leaves only happen between rounds.
-  std::vector<std::size_t> node_order = order_;
-  if (shuffle_nodes) util::shuffle(node_order, rng_);
+std::size_t Engine::effective_lanes(std::size_t n) const noexcept {
+  if (!delivery_hooks_.empty()) return 1;
+  return std::min(config_.shards, n);
+}
+
+void Engine::merge_lanes(std::size_t lanes) {
+  for (std::size_t i = 0; i < lanes; ++i) {
+    EngineLane& lane = lanes_[i];
+    counters_.actions += lane.actions;
+    counters_.deliveries += lane.deliveries;
+    pending_total_ -= lane.drained;
+    lane.actions = 0;
+    lane.deliveries = 0;
+    lane.drained = 0;
+    // Lanes cover contiguous rank ranges and each lane appends in rank
+    // order, so this concatenation IS the canonical (sender rank, send
+    // order) sequence — the same sequence for every shard count.
+    for (const PendingSend& send : lane.outbox)
+      dispatch_send(send.from_slot, send.to, send.message);
+    lane.outbox.clear();
+    for (const EngineLane::TimerArm& arm : lane.timer_arms)
+      schedule_timer(arm.id, arm.delay, arm.tag);
+    lane.timer_arms.clear();
+  }
+}
+
+void Engine::run_synchronous_round(ReceiptOrder order) {
+  const std::size_t n = order_.size();
+  if (n == 0) {
+    finish_round();
+    return;
+  }
+  const std::size_t lanes = effective_lanes(n);
+  if (lanes_.size() < lanes) lanes_.resize(lanes);
+  if (arrivals_.size() < slots_.size()) arrivals_.resize(slots_.size());
+  const bool delayed = config_.scheduler == SchedulerKind::kDelayedRandom;
 
   // Phase A0: snapshot every channel *before* any delivery, so that messages
   // sent while processing this round's arrivals are delivered next round
-  // regardless of node processing order (true synchronous semantics).
-  if (arrivals_.size() < slots_.size()) arrivals_.resize(slots_.size());
-  const bool delayed = config_.scheduler == SchedulerKind::kDelayedRandom;
-  for (const std::size_t slot_index : node_order) {
-    Slot& slot = slots_[slot_index];
-    const std::size_t before = slot.channel.size();
-    if (delayed) {
-      slot.channel.drain_sample(arrivals_[slot_index],
-                                config_.delivery_probability, rng_);
-    } else {
-      slot.channel.drain(arrivals_[slot_index], order, rng_);
-    }
-    note_drained(slot, before - slot.channel.size());
-  }
+  // (true synchronous semantics).  Each receiver drains with its own stream,
+  // so the per-channel arrival order is independent of the lane partition —
+  // and of which thread ran it.
+  util::parallel_for_chunked(
+      n, lanes, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        EngineLane& out = lanes_[lane];
+        for (std::size_t rank = begin; rank < end; ++rank) {
+          const std::size_t slot_index = order_[rank];
+          Slot& slot = slots_[slot_index];
+          const std::size_t before = slot.channel.size();
+          if (delayed) {
+            slot.channel.drain_sample(arrivals_[slot_index],
+                                      config_.delivery_probability, slot.rng);
+          } else {
+            slot.channel.drain(arrivals_[slot_index], order, slot.rng);
+          }
+          out.drained += before - slot.channel.size();
+        }
+      });
+  merge_lanes(lanes);
 
   // Phase A: every node receives everything that was pending at round start.
-  for (const std::size_t slot_index : node_order) {
-    Slot& slot = slots_[slot_index];
-    if (!slot.process) continue;
-    for (const Message& message : arrivals_[slot_index]) deliver(slot, message);
-    arrivals_[slot_index].clear();
-  }
+  // Receive actions only touch the receiver's own state and stream; their
+  // sends buffer in the lane outbox until the barrier.
+  util::parallel_for_chunked(
+      n, lanes, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        EngineLane& out = lanes_[lane];
+        for (std::size_t rank = begin; rank < end; ++rank) {
+          const std::size_t slot_index = order_[rank];
+          Slot& slot = slots_[slot_index];
+          std::vector<Message>& messages = arrivals_[slot_index];
+          for (const Message& message : messages)
+            deliver_buffered(slot, slot_index, message, out);
+          messages.clear();
+        }
+      });
+  merge_lanes(lanes);
+
   // Phase B: every node executes its (always enabled) regular action.
-  for (const std::size_t slot_index : node_order) {
-    Slot& slot = slots_[slot_index];
-    if (!slot.process) continue;
-    ++counters_.actions;
-    if (metrics_.actions) metrics_.actions->add();
-    Context ctx(*this, slot.process->id());
-    slot.process->on_regular(ctx);
-  }
+  util::parallel_for_chunked(
+      n, lanes, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        EngineLane& out = lanes_[lane];
+        for (std::size_t rank = begin; rank < end; ++rank) {
+          const std::size_t slot_index = order_[rank];
+          Slot& slot = slots_[slot_index];
+          ++out.actions;
+          if (metrics_.actions) metrics_.actions->add();
+          Context ctx(*this, slot.process->id(), &slot.rng, slot_index, &out);
+          slot.process->on_regular(ctx);
+        }
+      });
+  merge_lanes(lanes);
   finish_round();
 }
 
+/// The async scheduler stays sequential at every shard count: its whole
+/// point is a single global interleaving of atomic actions, so there is no
+/// phase to fan out.  Scheduler picks draw from the engine stream; protocol
+/// flips, drain shuffles, and send fates draw from the acting process's
+/// stream, exactly like the synchronous family.
 void Engine::run_async_round() {
+  ensure_fenwick();
   std::size_t budget = config_.async_actions_per_round;
   if (budget == 0) budget = process_count() + pending_messages();
   if (budget == 0) budget = 1;
@@ -328,10 +407,11 @@ void Engine::run_async_round() {
     if (enabled == 0) break;
     std::size_t pick = rng_.below(enabled);
     if (pick < process_count()) {
-      Slot& slot = slots_[order_[pick]];
+      const std::size_t slot_index = order_[pick];
+      Slot& slot = slots_[slot_index];
       ++counters_.actions;
       if (metrics_.actions) metrics_.actions->add();
-      Context ctx(*this, slot.process->id());
+      Context ctx(*this, slot.process->id(), &slot.rng, slot_index, nullptr);
       slot.process->on_regular(ctx);
     } else {
       pick -= process_count();
@@ -341,10 +421,12 @@ void Engine::run_async_round() {
       // the current state, not on how it was reached.
       const std::size_t rank =
           pending_by_rank_.find_kth(static_cast<std::int64_t>(pick));
-      Slot& slot = slots_[order_[rank]];
-      const Message message = slot.channel.take_one(ReceiptOrder::kShuffled, rng_);
+      const std::size_t slot_index = order_[rank];
+      Slot& slot = slots_[slot_index];
+      const Message message =
+          slot.channel.take_one(ReceiptOrder::kShuffled, slot.rng);
       note_drained(slot, 1);
-      deliver(slot, message);
+      deliver(slot, slot_index, message);
     }
   }
   finish_round();
@@ -366,19 +448,19 @@ void Engine::run_round() {
   fire_due_timers();
   switch (config_.scheduler) {
     case SchedulerKind::kSynchronous:
-      run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
+      run_synchronous_round(ReceiptOrder::kShuffled);
       break;
     case SchedulerKind::kRandomAsync:
       run_async_round();
       break;
     case SchedulerKind::kAdversarialLifo:
-      run_synchronous_round(ReceiptOrder::kLifo, /*shuffle_nodes=*/false);
+      run_synchronous_round(ReceiptOrder::kLifo);
       break;
     case SchedulerKind::kDelayedRandom:
-      run_synchronous_round(ReceiptOrder::kShuffled, /*shuffle_nodes=*/true);
+      run_synchronous_round(ReceiptOrder::kShuffled);
       break;
     case SchedulerKind::kAdversarialOldestLast:
-      run_synchronous_round(ReceiptOrder::kLifo, /*shuffle_nodes=*/false);
+      run_synchronous_round(ReceiptOrder::kLifo);
       break;
   }
 }
@@ -388,13 +470,14 @@ void Engine::deliver_pending_once() {
   for (const std::size_t slot_index : order_) {
     Slot& slot = slots_[slot_index];
     const std::size_t before = slot.channel.size();
-    slot.channel.drain(arrivals_[slot_index], ReceiptOrder::kShuffled, rng_);
+    slot.channel.drain(arrivals_[slot_index], ReceiptOrder::kShuffled, slot.rng);
     note_drained(slot, before - slot.channel.size());
   }
   for (const std::size_t slot_index : order_) {
     Slot& slot = slots_[slot_index];
     if (!slot.process) continue;
-    for (const Message& message : arrivals_[slot_index]) deliver(slot, message);
+    for (const Message& message : arrivals_[slot_index])
+      deliver(slot, slot_index, message);
     arrivals_[slot_index].clear();
   }
 }

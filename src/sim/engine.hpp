@@ -4,14 +4,29 @@
 // scheduler.  Protocols implement the Process interface; the self-stabilizing
 // small-world node and the baseline linearization node are both plugins.
 // Everything is deterministic given (seed, scheduler, initial state).
+//
+// Determinism model (DESIGN.md "Sharded deterministic execution"):
+//   * every process owns a private random stream, derived once from
+//     (seed, id) — protocol coin flips, channel-drain shuffles, and the
+//     loss/fault fate of that process's sends all come from its stream;
+//   * the engine stream (rng()) belongs to the scheduler alone (the
+//     random-async action picks);
+//   * synchronous-family rounds split each phase over `shards` contiguous
+//     rank ranges.  Worker lanes buffer their side effects (sends, timer
+//     arms, counter deltas) and a sequential merge at the phase barrier
+//     applies them in canonical (sender rank, send order); contiguous
+//     partitioning makes that concatenation identical for every shard
+//     count, so trajectories are bit-identical across shards ∈ {1, 2, …}.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -26,15 +41,44 @@ namespace sssw::sim {
 
 class Engine;
 
+/// Engine-internal: one buffered send awaiting the phase barrier.  Parallel
+/// phases must not touch channels, counters, or another process's stream, so
+/// Context::send records (who, where, what) and the merge does the rest.
+struct PendingSend {
+  std::size_t from_slot;
+  Id to;
+  Message message;
+};
+
+/// Engine-internal: one shard lane's buffered side effects for the current
+/// phase.  Lanes are merged sequentially in lane order at the barrier.
+struct EngineLane {
+  struct TimerArm {
+    Id id;
+    std::uint32_t delay;
+    std::uint64_t tag;
+  };
+  std::vector<PendingSend> outbox;
+  std::vector<TimerArm> timer_arms;
+  std::uint64_t actions = 0;
+  std::uint64_t deliveries = 0;
+  std::size_t drained = 0;  ///< messages taken out of channels this phase
+};
+
 /// The face of the engine a process sees while executing one atomic action.
 class Context {
  public:
   /// Sends `message` to the node with identifier `to`.  Sends to identifiers
   /// that no longer exist (departed nodes) are counted and dropped, matching
-  /// the leave semantics of §IV.G.  Self-sends are legal.
+  /// the leave semantics of §IV.G.  Self-sends are legal.  Inside a parallel
+  /// phase the send is buffered and takes effect at the phase barrier, in
+  /// canonical (sender rank, send order) — invisible to the protocol, which
+  /// never observes a channel it sent to within the same phase anyway.
   void send(Id to, const Message& message);
 
-  /// The engine's deterministic random stream.
+  /// The acting process's private deterministic stream (derived from the
+  /// engine seed and the process id), so concurrent actions never contend
+  /// for — or, worse, reorder — a shared generator.
   util::Rng& rng();
 
   /// Synchronous round counter (also advanced by async steps, see Engine).
@@ -46,10 +90,19 @@ class Context {
 
  private:
   friend class Engine;
-  Context(Engine& engine, Id self) : engine_(engine), self_(self) {}
+  Context(Engine& engine, Id self, util::Rng* rng, std::size_t from_slot,
+          EngineLane* lane) noexcept
+      : engine_(engine),
+        self_(self),
+        rng_(rng),
+        from_slot_(from_slot),
+        lane_(lane) {}
   Engine& engine_;
   Id self_;  ///< the acting process (the fault layer's partition filter
              ///< needs the sender, which a Message does not carry)
+  util::Rng* rng_;         ///< the acting process's slot stream
+  std::size_t from_slot_;  ///< the acting process's slot index
+  EngineLane* lane_;       ///< non-null inside a parallel phase: buffer here
 };
 
 /// Cheap protocol tag: hot inspection paths (invariant predicates, views,
@@ -64,8 +117,10 @@ inline constexpr ProcessKind kLinearizationProcess = 2;
 inline constexpr ProcessKind kFingerProcess = 3;
 
 /// A protocol node.  Actions are atomic: the engine never interleaves two
-/// callbacks.  `on_message` is the receive action, `on_regular` the
-/// always-enabled regular action (Algorithm 1's two actions).
+/// callbacks *of the same process*, and concurrent actions of different
+/// processes share no mutable state (each process owns its state and stream;
+/// sends are buffered).  `on_message` is the receive action, `on_regular`
+/// the always-enabled regular action (Algorithm 1's two actions).
 class Process {
  public:
   virtual ~Process() = default;
@@ -116,6 +171,11 @@ struct EngineConfig {
   /// In kAdversarialOldestLast, the fairness deadline: every message is
   /// held this many extra rounds before its channel sees it.  Must be >= 1.
   std::uint32_t adversary_delay = 3;
+  /// Worker lanes the synchronous-family schedulers fan each round's phases
+  /// across.  Trajectories are bit-identical for every value >= 1 (the
+  /// determinism model above), so this is purely a wall-clock knob.
+  /// kRandomAsync is inherently sequential and ignores it.  Must be >= 1.
+  std::size_t shards = 1;
 };
 
 struct EngineCounters {
@@ -144,7 +204,9 @@ class Engine {
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
 
-  /// Registers a process.  Identifiers must be unique and finite.
+  /// Registers a process.  Identifiers must be unique and finite.  O(n − r)
+  /// for rank r (the sorted-order insert shift), so ascending bulk loads are
+  /// O(1) amortized per node — million-node networks build in linear time.
   void add_process(std::unique_ptr<Process> process);
 
   /// Removes a process: its state and channel vanish; in-flight messages to
@@ -162,14 +224,10 @@ class Engine {
   Process* find(Id id) noexcept;
   const Process* find(Id id) const noexcept;
 
-  /// All process identifiers in ascending order.  Allocates a fresh vector;
-  /// per-round loops should prefer id_span().
-  std::vector<Id> ids() const;
-
   /// All process identifiers in ascending order, as an allocation-free view
   /// over the engine's incrementally maintained sorted order.  Invalidated
   /// by add_process/remove_process (take it fresh after membership changes;
-  /// do not hold it across a join/leave).
+  /// do not hold it across a join/leave — copy into a vector for that).
   std::span<const Id> id_span() const noexcept { return ids_sorted_; }
 
   /// Applies `fn` to every process in ascending identifier order.
@@ -219,6 +277,9 @@ class Engine {
   const EngineCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = EngineCounters{}; }
 
+  /// The scheduler's stream.  Protocol code should use Context::rng (its
+  /// per-process stream) instead; this one decides only scheduler-level
+  /// draws, so that shard lanes never share a generator.
   util::Rng& rng() noexcept { return rng_; }
   std::uint64_t round() const noexcept { return counters_.rounds; }
 
@@ -234,6 +295,11 @@ class Engine {
   // (a Trace, the metrics layer, a test capture) and each receives every
   // event.  add returns a token for targeted removal, so detaching one
   // observer never silently disables another.
+  //
+  // Threading: send and round hooks always fire from the sequential merge /
+  // epilogue.  A registered delivery hook forces rounds onto a single lane
+  // (sequential, canonical order) — observation keeps exact event order at
+  // the cost of parallelism, and the trajectory is unchanged either way.
   using DeliveryHook = std::function<void(Id to, const Message&)>;
   using RoundHook = std::function<void(std::uint64_t round)>;
   using HookId = std::uint64_t;
@@ -252,9 +318,10 @@ class Engine {
   HookId add_round_hook(RoundHook hook);
   bool remove_round_hook(HookId id) noexcept;
 
-  /// Testing scheduler: delivers everything currently pending (shuffled)
-  /// WITHOUT executing any regular action, and does not advance the round
-  /// counter.  Lets tests exercise a single receive action in isolation.
+  /// Testing scheduler: delivers everything currently pending (shuffled per
+  /// receiver stream) WITHOUT executing any regular action, and does not
+  /// advance the round counter.  Lets tests exercise a single receive action
+  /// in isolation.
   void deliver_pending_once();
 
  private:
@@ -266,10 +333,28 @@ class Engine {
     /// This slot's position in order_ (its rank among live ids).  Lets the
     /// hot paths map slot → Fenwick index in O(1).  Stale for dead slots.
     std::size_t rank = 0;
+    /// The process's private stream: util::derive_stream(seed, bits of id).
+    /// Touched only by this process's own actions, its channel drains, and
+    /// the merge-time fate of its sends — never by another lane.
+    util::Rng rng{0};
+  };
+
+  /// Hash for the identifier index: one multiply-xorshift over the id's
+  /// bits.  Ids are finite doubles (validated at add), so there is no
+  /// -0.0/NaN aliasing to worry about and bit identity is value identity.
+  struct IdHash {
+    std::size_t operator()(Id id) const noexcept {
+      std::uint64_t x = std::bit_cast<std::uint64_t>(id);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
   };
 
   /// Cached metric handles (registry-owned); all null when detached, so the
-  /// hot paths pay one branch.
+  /// hot paths pay one branch.  Counters are relaxed-atomic (obs/registry),
+  /// so lane-parallel adds are safe and totals stay deterministic.
   struct Metrics {
     obs::Counter* rounds = nullptr;
     obs::Counter* actions = nullptr;
@@ -286,15 +371,30 @@ class Engine {
     obs::Gauge* processes = nullptr;
   };
 
-  void send(Id from, Id to, const Message& message);
+  /// The sequential send path: counts the send, fires send hooks, draws the
+  /// loss/fault fate from the *sender's* stream, and routes the survivors.
+  /// Called inline from sequential contexts and from the phase merge for
+  /// buffered sends — same code, same stream, same order either way.
+  void dispatch_send(std::size_t from_slot, Id to, const Message& message);
   void enqueue_or_drop(Id to, const Message& message);
   void release_due_messages();
   void fire_due_timers();
-  void deliver(Slot& slot, const Message& message);
-  void run_synchronous_round(ReceiptOrder order, bool shuffle_nodes);
+  /// Sequential delivery (async scheduler, deliver_pending_once).
+  void deliver(Slot& slot, std::size_t slot_index, const Message& message);
+  /// Lane delivery: counters and sends buffer into `lane`.
+  void deliver_buffered(Slot& slot, std::size_t slot_index,
+                        const Message& message, EngineLane& lane);
+  void run_synchronous_round(ReceiptOrder order);
   void run_async_round();
   void finish_round();
-  void rebuild_schedule_index();
+  /// Applies every lane's buffered effects in lane order (sequential).
+  void merge_lanes(std::size_t lanes);
+  /// Lanes for a round over `n` processes: config shards, capped by n, and
+  /// forced to 1 while a delivery hook wants exact sequential observation.
+  std::size_t effective_lanes(std::size_t n) const noexcept;
+  /// Lazily rebuilds the pending-by-rank Fenwick index (async scheduler
+  /// only) after membership changes invalidated it.
+  void ensure_fenwick();
   void note_drained(Slot& slot, std::size_t removed) noexcept;
 
   EngineConfig config_;
@@ -304,8 +404,10 @@ class Engine {
   // exact fault-free code of earlier revisions.
   std::unique_ptr<FaultInjector> faults_;
   std::vector<FaultInjector::Held> released_;  // collect_due scratch, reused
-  // Ordered by identifier: gives deterministic iteration and O(log n) lookup.
-  std::map<Id, std::size_t> index_;
+  // Identifier → slot index.  Hashed: the send path pays O(1) per lookup
+  // instead of a red-black descent.  Never iterated (order_ is the canonical
+  // iteration order), so the unordered layout cannot leak into trajectories.
+  std::unordered_map<Id, std::size_t, IdHash> index_;
   std::vector<Slot> slots_;        // dense storage; holes after removal
   // Canonical scheduling order: live slot indices, ascending by node id,
   // maintained by sorted insert/erase (never rebuilt from map/hash
@@ -319,17 +421,22 @@ class Engine {
   // hands out the canonical order without allocating.
   std::vector<Id> ids_sorted_;
   // Pending messages per order_-rank, Fenwick-indexed: the async scheduler
-  // finds the pick-th pending message by binary descent in O(log n).
+  // finds the pick-th pending message by binary descent in O(log n).  Only
+  // kRandomAsync pays for it (use_fenwick_); membership changes mark it
+  // dirty and ensure_fenwick rebuilds it lazily, so bulk loads skip the old
+  // O(n)-per-add rebuild entirely.
   util::Fenwick pending_by_rank_;
+  bool use_fenwick_ = false;
+  bool fenwick_dirty_ = true;
   std::size_t pending_total_ = 0;  // sum of all channel sizes, kept in step
   std::vector<std::int64_t> rank_counts_;  // rebuild scratch, reused
+  std::vector<EngineLane> lanes_;  // per-shard buffers, reused across rounds
   EngineCounters counters_;
   Metrics metrics_;
   HookId next_hook_id_ = 1;
   std::vector<std::pair<HookId, DeliveryHook>> delivery_hooks_;
   std::vector<std::pair<HookId, DeliveryHook>> send_hooks_;
   std::vector<std::pair<HookId, RoundHook>> round_hooks_;
-  std::vector<Message> scratch_;   // drain buffer reused across rounds
   std::vector<std::vector<Message>> arrivals_;  // per-slot round snapshots
   struct Timer {
     Id id;
@@ -341,5 +448,32 @@ class Engine {
   std::size_t timer_count_ = 0;
   std::vector<Timer> due_timers_;  // fire_due_timers scratch, reused
 };
+
+// --- Context inline fast paths ---------------------------------------------
+// send() is the hottest engine call (every protocol action fires several);
+// in a lane it is one push_back, with the real dispatch deferred to the
+// merge.  Defined here, after Engine, so the calls inline into protocol code.
+
+inline void Context::send(Id to, const Message& message) {
+  if (lane_ != nullptr) {
+    lane_->outbox.push_back(PendingSend{from_slot_, to, message});
+    return;
+  }
+  engine_.dispatch_send(from_slot_, to, message);
+}
+
+inline util::Rng& Context::rng() { return *rng_; }
+
+inline std::uint64_t Context::round() const noexcept {
+  return engine_.counters_.rounds;
+}
+
+inline void Context::schedule_timer(std::uint32_t delay, std::uint64_t tag) {
+  if (lane_ != nullptr) {
+    lane_->timer_arms.push_back(EngineLane::TimerArm{self_, delay, tag});
+    return;
+  }
+  engine_.schedule_timer(self_, delay, tag);
+}
 
 }  // namespace sssw::sim

@@ -60,11 +60,11 @@ TEST(Churn, RepeatedJoinLeaveKeepsNetworkHealthy) {
     do {
       fresh = rng.uniform();
     } while (fresh == 0.0 || net.engine().contains(fresh));
-    const auto ids = net.engine().ids();
+    const auto ids = net.engine().id_span();
     ASSERT_TRUE(net.join(fresh, ids[rng.below(ids.size())]));
     ASSERT_TRUE(net.run_until_sorted_ring(20000).has_value()) << "wave " << wave;
     // ... then one leave.
-    const auto current = net.engine().ids();
+    const auto current = net.engine().id_span();
     ASSERT_TRUE(net.leave(current[rng.below(current.size())]));
     ASSERT_TRUE(net.run_until_sorted_ring(20000).has_value()) << "wave " << wave;
   }

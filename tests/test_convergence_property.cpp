@@ -169,7 +169,7 @@ TEST_P(FaultInjection, RecoversFromCorruptedLrls) {
   util::Rng rng(100 + GetParam());
   SmallWorldNetwork net = make_stable_ring(random_ids(32, rng));
   net.run_rounds(40);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   for (const sim::Id id : ids)
     net.node(id)->set_lrl(ids[rng.below(ids.size())]);  // scramble every lrl
   EXPECT_TRUE(net.run_until_sorted_ring(5000).has_value());
@@ -178,7 +178,7 @@ TEST_P(FaultInjection, RecoversFromCorruptedLrls) {
 TEST_P(FaultInjection, RecoversFromGarbageChannelContents) {
   util::Rng rng(200 + GetParam());
   SmallWorldNetwork net = make_stable_ring(random_ids(24, rng));
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   // Flood channels with random well-typed messages carrying random ids.
   for (int i = 0; i < 200; ++i) {
     const sim::Id to = ids[rng.below(ids.size())];
@@ -195,7 +195,7 @@ TEST_P(FaultInjection, RecoversFromGarbageChannelContents) {
 TEST_P(FaultInjection, RecoversFromCorruptedNeighborSubset) {
   util::Rng rng(300 + GetParam());
   SmallWorldNetwork net = make_stable_ring(random_ids(32, rng));
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   // Corrupt a third of the nodes: point r at a far (still larger) node.
   for (std::size_t i = 0; i + 3 < ids.size(); i += 3) {
     auto* node = net.node(ids[i]);

@@ -180,7 +180,8 @@ CrashRun run_crash_scenario(sim::SchedulerKind scheduler, std::uint64_t seed) {
   net.run_rounds(24);  // move-and-forget and the probe clock are mid-flight
   // Crash 10% deterministically (a dedicated stream, not the engine's).
   util::Rng pick(seed ^ 0xabcdef);
-  auto live = net.engine().ids();
+  const auto live_span = net.engine().id_span();
+  std::vector<sim::Id> live(live_span.begin(), live_span.end());
   for (std::size_t i = 0; i < n / 10; ++i) {
     const std::size_t j = i + pick.below(live.size() - i);
     std::swap(live[i], live[j]);

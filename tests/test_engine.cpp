@@ -56,7 +56,7 @@ TEST(Engine, IdsAreSorted) {
   engine.add_process(std::make_unique<Probe>(0.9));
   engine.add_process(std::make_unique<Probe>(0.1));
   engine.add_process(std::make_unique<Probe>(0.5));
-  const auto ids = engine.ids();
+  const auto ids = engine.id_span();
   ASSERT_EQ(ids.size(), 3u);
   EXPECT_DOUBLE_EQ(ids[0], 0.1);
   EXPECT_DOUBLE_EQ(ids[1], 0.5);
@@ -402,7 +402,7 @@ TEST(Engine, IdsStaySortedAcrossChurn) {
   engine.add_process(std::make_unique<Probe>(0.4));
   engine.add_process(std::make_unique<Probe>(0.05));
   engine.remove_process(0.8);
-  const auto ids = engine.ids();
+  const auto ids = engine.id_span();
   ASSERT_EQ(ids.size(), 3u);
   EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
 }

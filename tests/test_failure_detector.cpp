@@ -39,14 +39,14 @@ TEST(FailureDetector, CrashWithoutDetectorWedges) {
   // Negative control: crash-stop with the detector off leaves the gap open
   // (stale in-flight lin messages re-poison the neighbours' pointers).
   SmallWorldNetwork net = detector_network(32, 2, /*timeout=*/0);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   ASSERT_TRUE(net.crash(ids[10]));
   EXPECT_FALSE(net.run_until_sorted_ring(3000).has_value());
 }
 
 TEST(FailureDetector, CrashWithDetectorHeals) {
   SmallWorldNetwork net = detector_network(32, 3, /*timeout=*/8);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   ASSERT_TRUE(net.crash(ids[10]));
   const auto rounds = net.run_until_sorted_ring(20000);
   ASSERT_TRUE(rounds.has_value());
@@ -57,17 +57,18 @@ TEST(FailureDetector, CrashWithDetectorHeals) {
 
 TEST(FailureDetector, CrashOfMaxHeals) {
   SmallWorldNetwork net = detector_network(24, 4, 8);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   ASSERT_TRUE(net.crash(ids.back()));
   ASSERT_TRUE(net.run_until_sorted_ring(20000).has_value());
-  const auto survivors = net.engine().ids();
+  const auto survivors = net.engine().id_span();
   EXPECT_DOUBLE_EQ(net.node(survivors.front())->ring(), survivors.back());
   EXPECT_DOUBLE_EQ(net.node(survivors.back())->ring(), survivors.front());
 }
 
 TEST(FailureDetector, MultipleSimultaneousCrashesHeal) {
   SmallWorldNetwork net = detector_network(48, 5, 8);
-  const auto ids = net.engine().ids();
+  const std::vector<sim::Id> ids(net.engine().id_span().begin(),
+                                 net.engine().id_span().end());
   // Crash three scattered, non-adjacent nodes at once.
   ASSERT_TRUE(net.crash(ids[5]));
   ASSERT_TRUE(net.crash(ids[20]));
@@ -80,7 +81,8 @@ TEST(FailureDetector, AdjacentCrashesHeal) {
   // A whole segment of the ring disappears: the survivors' pointers all
   // dangle into the hole.
   SmallWorldNetwork net = detector_network(32, 6, 8);
-  const auto ids = net.engine().ids();
+  const std::vector<sim::Id> ids(net.engine().id_span().begin(),
+                                 net.engine().id_span().end());
   ASSERT_TRUE(net.crash(ids[10]));
   ASSERT_TRUE(net.crash(ids[11]));
   ASSERT_TRUE(net.crash(ids[12]));
@@ -90,7 +92,8 @@ TEST(FailureDetector, AdjacentCrashesHeal) {
 
 TEST(FailureDetector, LrlPointingAtCrashedNodeRecovers) {
   SmallWorldNetwork net = detector_network(24, 7, 8);
-  const auto ids = net.engine().ids();
+  const std::vector<sim::Id> ids(net.engine().id_span().begin(),
+                                 net.engine().id_span().end());
   // Force several lrls onto the victim, then crash it.
   net.node(ids[2])->set_lrl(ids[15]);
   net.node(ids[20])->set_lrl(ids[15]);
@@ -159,7 +162,7 @@ TEST(FailureDetector, CrashEpidemicIsContained) {
   // could cull it.  With quarantine, a crash plus a full lrl scramble heals.
   SmallWorldNetwork net = detector_network(40, 11, 12);
   util::Rng rng(11);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   const sim::Id victim = ids[ids.size() / 2];
   // Point several lrls at the victim, then crash it mid-activity.
   for (int i = 0; i < 8; ++i)
@@ -175,7 +178,7 @@ TEST(FailureDetector, ChurnStormOfCrashesHeals) {
   SmallWorldNetwork net = detector_network(48, 9, 8);
   util::Rng rng(9);
   for (int wave = 0; wave < 4; ++wave) {
-    const auto ids = net.engine().ids();
+    const auto ids = net.engine().id_span();
     ASSERT_TRUE(net.crash(ids[rng.below(ids.size())]));
     net.run_rounds(16);  // next crash before full recovery
   }

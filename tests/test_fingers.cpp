@@ -77,7 +77,7 @@ TEST(Fingers, CorruptedFingersRefreshWithinOneCycle) {
   ASSERT_TRUE(engine.run_until(
       [&] { return fingers_sorted_list(engine) && fingers_correct(engine); }, 40000));
   // Corrupt every finger of every node by injecting bogus found messages.
-  const auto ids = engine.ids();
+  const auto ids = engine.id_span();
   for (const Id id : ids) {
     auto* node = dynamic_cast<FingerNode*>(engine.find(id));
     for (std::uint32_t slot = 1; slot <= config.finger_slots; ++slot) {

@@ -61,26 +61,26 @@ TEST_P(Lifecycle, FullStory) {
     do {
       fresh = rng.uniform();
     } while (fresh == 0.0 || net.engine().contains(fresh));
-    const auto ids = net.engine().ids();
+    const auto ids = net.engine().id_span();
     ASSERT_TRUE(net.join(fresh, ids[rng.below(ids.size())]));
     ASSERT_TRUE(net.run_until_sorted_ring(200000).has_value()) << "join " << i;
   }
   {
-    const auto ids = net.engine().ids();
+    const auto ids = net.engine().id_span();
     ASSERT_TRUE(net.leave(ids[rng.below(ids.size())]));
     ASSERT_TRUE(net.run_until_sorted_ring(200000).has_value()) << "leave";
   }
 
   // Act 4: a crash (no detection courtesy — the failure detector heals it).
   {
-    const auto ids = net.engine().ids();
+    const auto ids = net.engine().id_span();
     ASSERT_TRUE(net.crash(ids[rng.below(ids.size())]));
     ASSERT_TRUE(net.run_until_sorted_ring(200000).has_value()) << "crash";
   }
 
   // Act 5: an adversary scrambles every long-range link and floods garbage.
   {
-    const auto ids = net.engine().ids();
+    const auto ids = net.engine().id_span();
     for (const sim::Id id : ids) net.node(id)->set_lrl(ids[rng.below(ids.size())]);
     for (int i = 0; i < 100; ++i) {
       net.engine().inject(ids[rng.below(ids.size())],
@@ -111,7 +111,7 @@ TEST_P(Lifecycle, FullStory) {
   ASSERT_TRUE(net.run_until_sorted_ring(2000).has_value());
   net.run_rounds(2 * options.protocol.failure_timeout);
   ASSERT_TRUE(net.run_until_sorted_ring(2000).has_value());
-  for (const sim::Id id : net.engine().ids()) {
+  for (const sim::Id id : net.engine().id_span()) {
     const sim::Id target = net.node(id)->lrl();
     if (target == id || !net.engine().contains(target)) continue;
     EXPECT_TRUE(routing::probe_walk(net, id, target, 16 * kN).reached);

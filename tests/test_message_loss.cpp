@@ -100,7 +100,7 @@ TEST(MessageLoss, LossSlowsButDoesNotPreventJoin) {
   options.message_loss = 0.2;
   SmallWorldNetwork net = make_stable_ring(random_ids(32, rng), options);
   net.run_rounds(64);
-  ASSERT_TRUE(net.join(0.12345, net.engine().ids()[5]));
+  ASSERT_TRUE(net.join(0.12345, net.engine().id_span()[5]));
   EXPECT_TRUE(net.run_until_sorted_ring(50000).has_value());
 }
 

@@ -26,7 +26,7 @@ SmallWorldNetwork multilink_ring(std::size_t n, std::uint64_t seed,
 
 TEST(MultiLink, NodesCarryKLinks) {
   SmallWorldNetwork net = multilink_ring(16, 1, 3);
-  for (const sim::Id id : net.engine().ids()) {
+  for (const sim::Id id : net.engine().id_span()) {
     EXPECT_EQ(net.node(id)->lrls().size(), 3u);
     for (const auto& link : net.node(id)->lrls()) EXPECT_EQ(link.target, id);
   }
@@ -36,7 +36,7 @@ TEST(MultiLink, AllLinksEventuallyMove) {
   SmallWorldNetwork net = multilink_ring(24, 2, 3);
   net.run_rounds(200);
   std::size_t moved = 0, total = 0;
-  for (const sim::Id id : net.engine().ids()) {
+  for (const sim::Id id : net.engine().id_span()) {
     for (const auto& link : net.node(id)->lrls()) {
       ++total;
       moved += (link.target != id);
@@ -94,7 +94,7 @@ TEST(MultiLink, MoreLinksImproveRouting) {
 
 TEST(MultiLink, LrlLengthsCountEveryLink) {
   SmallWorldNetwork net = multilink_ring(16, 8, 3);
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   // Place links by hand: 2 moved, 1 home on one node.
   auto* node = net.node(ids[0]);
   node->set_lrl(ids[4]);  // link 0
@@ -125,7 +125,8 @@ TEST(MultiLink, StaleResponsesAreDroppedForExtraLinks) {
 
 TEST(MultiLink, LeaveResetsEveryMatchingLink) {
   SmallWorldNetwork net = multilink_ring(8, 9, 3);
-  const auto ids = net.engine().ids();
+  const std::vector<sim::Id> ids(net.engine().id_span().begin(),
+                                 net.engine().id_span().end());
   auto* node = net.node(ids[0]);
   node->set_lrl(ids[3]);
   net.node(ids[1])->set_lrl(ids[3]);

@@ -80,7 +80,7 @@ TEST(ProbeWalk, StableNetworkProbesAlwaysSucceed) {
   // destination, for every (origin, target) pair.
   util::Rng rng(11);
   SmallWorldNetwork net = make_stable_ring(core::random_ids(24, rng));
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   for (const sim::Id origin : ids) {
     for (const sim::Id target : ids) {
       if (origin == target) continue;
@@ -98,7 +98,7 @@ TEST(ProbeWalk, StabilizedLrlsProbeSuccessfully) {
   SmallWorldNetwork net = make_stable_ring(core::random_ids(32, rng));
   net.run_rounds(200);
   ASSERT_TRUE(net.sorted_ring());
-  for (const sim::Id id : net.engine().ids()) {
+  for (const sim::Id id : net.engine().id_span()) {
     const sim::Id target = net.node(id)->lrl();
     if (target == id) continue;
     const ProbeResult r = probe_walk(net, id, target, 1000);

@@ -41,7 +41,7 @@ TEST(Snapshot, RestorePreservesState) {
   const Snapshot snapshot = take_snapshot(net);
   SmallWorldNetwork restored = restore_snapshot(snapshot);
   ASSERT_EQ(restored.size(), net.size());
-  for (const sim::Id id : net.engine().ids()) {
+  for (const sim::Id id : net.engine().id_span()) {
     const auto* original = net.node(id);
     const auto* copy = restored.node(id);
     ASSERT_NE(copy, nullptr);

@@ -30,7 +30,38 @@ using namespace sssw;
 
 namespace {
 
-int replay(const std::string& path, bool paranoid) {
+// Re-runs a reproducer's case and rewrites the file with the verdict the
+// current build produces.  For sanctioned semantic changes (the corpus
+// README's terms): the *case* is the pinned artifact; the recorded verdict
+// is re-derived so the corpus keeps pinning the new trajectory.
+int refresh(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  auto repro = analysis::parse_repro(buffer.str());
+  if (!repro) {
+    std::fprintf(stderr, "%s: not a valid reproducer\n", path.c_str());
+    return 2;
+  }
+  const analysis::FuzzVerdict before = repro->expected;
+  repro->expected = analysis::run_case(repro->c, repro->options);
+  std::ofstream out(path, std::ios::trunc);
+  out << analysis::to_json(*repro) << '\n';
+  const bool same = before == repro->expected;
+  std::printf("%s: %s (ok %d→%d, digest %llu→%llu)\n", path.c_str(),
+              same ? "unchanged" : "re-recorded", before.ok ? 1 : 0,
+              repro->expected.ok ? 1 : 0,
+              static_cast<unsigned long long>(before.digest),
+              static_cast<unsigned long long>(repro->expected.digest));
+  return 0;
+}
+
+int replay(const std::string& path, bool paranoid, std::size_t shards) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -46,6 +77,7 @@ int replay(const std::string& path, bool paranoid) {
   // Paranoia is a runtime knob, not part of the recorded case: it cannot
   // change the verdict, only abort if the tracker and oracle disagree.
   repro->options.paranoid = paranoid;
+  repro->options.shards = shards;
   const analysis::FuzzVerdict verdict = analysis::run_case(repro->c, repro->options);
   const bool match = verdict == repro->expected;
   std::printf("%s: %s (oracle %s, %llu rounds, digest %llu) — %s\n", path.c_str(),
@@ -65,16 +97,22 @@ int main(int argc, char** argv) {
   std::int64_t max_n = 24;
   std::string out_dir = ".";
   std::string replay_path;
+  std::string refresh_path;
   std::string invert_name;
   bool no_shrink = false;
   bool emit_all = false;
   bool paranoid = false;
+  std::int64_t shards = 1;
   util::Cli cli("convergence fuzzer for the self-stabilizing small-world protocol");
   cli.flag("trials", "number of fuzz cases to run", &trials);
   cli.flag("seed", "master seed for case sampling", &seed);
   cli.flag("max-n", "largest network size to sample (min 4)", &max_n);
   cli.flag("out-dir", "directory for reproducer JSON files", &out_dir);
   cli.flag("replay", "replay this reproducer file and exit", &replay_path);
+  cli.flag("refresh",
+           "re-run this reproducer and rewrite its recorded verdict in place "
+           "(for sanctioned semantic changes; see tests/corpus/README.md)",
+           &refresh_path);
   cli.flag("invert-oracle",
            "test hook: flip this oracle's outcome (phase-monotone | "
            "lrls-resolve | connectivity | eventual-ring | crash-recovery)",
@@ -83,13 +121,23 @@ int main(int argc, char** argv) {
   cli.flag("emit-all",
            "also write a reproducer for every passing trial (corpus building)",
            &emit_all);
+  cli.flag("shards",
+           "worker lanes for replay (trajectories are shard-count-invariant; "
+           "any value must reproduce the recorded verdict)",
+           &shards);
   cli.flag("paranoid",
            "cross-check the incremental invariant tracker against the "
            "recompute oracle on every round (aborts on divergence)",
            &paranoid);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
-  if (!replay_path.empty()) return replay(replay_path, paranoid);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be at least 1\n");
+    return 2;
+  }
+  if (!replay_path.empty())
+    return replay(replay_path, paranoid, static_cast<std::size_t>(shards));
+  if (!refresh_path.empty()) return refresh(refresh_path);
 
   if (trials <= 0 || max_n < 4) {
     std::fprintf(stderr, "--trials must be positive and --max-n at least 4\n");

@@ -71,7 +71,7 @@ sim::MessageType parse_type(const std::string& text) {
 /// Snaps an arbitrary identifier to the nearest live node (so `route 0.1
 /// 0.9` works without knowing exact ids).
 sim::Id nearest_node(const core::SmallWorldNetwork& net, sim::Id id) {
-  const auto ids = net.engine().ids();
+  const auto ids = net.engine().id_span();
   sim::Id best = ids.front();
   for (const sim::Id candidate : ids)
     if (std::abs(candidate - id) < std::abs(best - id)) best = candidate;
@@ -92,7 +92,7 @@ void cmd_nodes(const core::SmallWorldNetwork& net) {
     if (id == sim::kPosInf) return std::string("inf");
     return util::format_double(id, 4);
   };
-  for (const sim::Id id : net.engine().ids()) {
+  for (const sim::Id id : net.engine().id_span()) {
     const auto* node = net.node(id);
     table.row().add(fmt(id)).add(fmt(node->l())).add(fmt(node->r()))
         .add(fmt(node->lrl())).add(fmt(node->ring()))
@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
   double message_loss = 0.0;
   double crash_frac = 0.0;
   std::int64_t crash_round = 0;
+  std::int64_t shards = 1;
   std::string script;
   std::string metrics_path;
   std::int64_t metrics_every = 100;
@@ -164,6 +165,10 @@ int main(int argc, char** argv) {
            &probe_period);
   cli.flag("suspect-threshold", "detector: missed acks before suspicion",
            &suspect_threshold);
+  cli.flag("shards",
+           "worker lanes per round (pure wall-clock knob: the trajectory is "
+           "bit-identical for every value >= 1)",
+           &shards);
   cli.flag("message-loss", "per-message drop probability, in [0,1)",
            &message_loss);
   cli.flag("crash-frac",
@@ -182,6 +187,10 @@ int main(int argc, char** argv) {
   }
   if (!(delivery_prob > 0.0 && delivery_prob <= 1.0)) {
     std::fprintf(stderr, "--delivery-prob must lie in (0, 1]\n");
+    return 1;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be at least 1\n");
     return 1;
   }
 
@@ -239,6 +248,7 @@ int main(int argc, char** argv) {
   options.faults = faults;
   options.adversary_delay = static_cast<std::uint32_t>(adversary_delay);
   options.message_loss = message_loss;
+  options.shards = static_cast<std::size_t>(shards);
   // Crash-stop works out of the box: the legacy passive detector by default,
   // or the active probe/ack detector when requested.  Never both — a passive
   // reset clears the stale pointer before the active detector's eviction,
