@@ -1,0 +1,128 @@
+// bench_service — experiment E15: lookup SLO during crash recovery
+// (ISSUE 10).
+//
+// E14 measures how fast the *structure* heals after a 10% simultaneous
+// crash; E15 asks what the outage looks like from the outside.  An in-band
+// lookup service (service::LookupManager, doc/SERVICE.md) issues open-loop
+// greedy queries over the live engine while the survivors heal, with the
+// full robustness stack — per-hop TTL, end-to-end timeout, bounded retries
+// under exponential backoff + deterministic jitter, optional hedging, and
+// detector-aware forwarding.  Each row reports, per measurement window
+// (pre-crash / during the outage / post-recovery):
+//   success_*        lookup success rate (completions in the window)
+//   p50/p999_lat_*   exact round-latency percentiles of successful lookups
+//   recovery_rounds  rounds from the crash to the first round whose trailing
+//                    32-round completion window holds >= 99% success for good
+//   in_window        1 if every trial recovered within the detection-latency
+//                    budget (detector eviction latency + service failure
+//                    horizon, see service::slo_detection_window)
+//   deadletters      requests dead-lettered with a typed failure reason
+// Rows:
+//   BM_ServiceSlo_Full      detector + retries (the claim under test)
+//   BM_ServiceSlo_Hedged    + hedged re-issue after 24 quiet rounds
+//   BM_ServiceSlo_NoDetect  detector off: dead pointers never evicted, so
+//                           lookups that cross the gap keep timing out and
+//                           success never returns to the SLO
+//   BM_ServiceSlo_NoRetry   retries off: every transient loss/timeout
+//                           dead-letters, deepening and lengthening the dip
+//
+// The measurement lives in service::measure_slo (src/service/slo.hpp); this
+// bench and the e15-service sweep cells execute the identical driver.
+// state.range = {n, crash %}; the small-n rows exist for the CI smoke job.
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "service/slo.hpp"
+
+namespace {
+
+using namespace sssw;
+
+service::SloOptions slo_options(std::int64_t n, std::int64_t crash_pct) {
+  service::SloOptions options;
+  options.n = static_cast<std::size_t>(n);
+  options.trials = 2;
+  options.base_seed = bench::kBaseSeed + static_cast<std::uint64_t>(n) * 100 +
+                      static_cast<std::uint64_t>(crash_pct);
+  options.crash_frac = static_cast<double>(crash_pct) / 100.0;
+  // k = 8 long-range links per node: with the default k = 1 the greedy
+  // latency tail is near-linear in n (p999 ≈ n/2 hops at n = 1024), so an
+  // SLO on round latency would mostly measure topology, not the outage.
+  options.protocol.lrl_count = 8;
+  options.lookup.rate = 4.0;
+  // ttl/timeout sized so a healthy network *never* times out (pre-crash
+  // success must read 1.0): p999 hop count at n = 1024, k = 8 is ~130 and
+  // a hop costs a round, so 192 rounds of budget and 512 hops of ttl leave
+  // headroom for the during-outage detour tail.
+  options.lookup.ttl = 512;
+  options.lookup.timeout_rounds = 192;
+  options.recovery_window = 64;
+  return options;
+}
+
+void report(benchmark::State& state, const service::SloResult& result) {
+  state.counters["success_pre"] = result.pre.success;
+  state.counters["success_during"] = result.during_crash.success;
+  state.counters["success_post"] = result.post.success;
+  state.counters["p50_lat_pre"] = result.pre.p50_latency;
+  state.counters["p999_lat_pre"] = result.pre.p999_latency;
+  state.counters["p999_lat_during"] = result.during_crash.p999_latency;
+  state.counters["p999_lat_post"] = result.post.p999_latency;
+  state.counters["p999_hops_post"] = result.post.p999_hops;
+  state.counters["recovery_rounds"] = result.recovery_rounds;
+  state.counters["recovered"] = result.recovered_fraction;
+  state.counters["in_window"] = result.recovered_in_window ? 1.0 : 0.0;
+  state.counters["detection_window"] =
+      static_cast<double>(result.detection_window);
+  state.counters["issued"] = static_cast<double>(result.totals.issued);
+  state.counters["retries"] = static_cast<double>(result.totals.retries);
+  state.counters["deadletters"] = static_cast<double>(result.totals.failed);
+  state.counters["crash_pct"] = static_cast<double>(state.range(1));
+}
+
+void BM_ServiceSlo_Full(benchmark::State& state) {
+  // Detector + retries: the configuration the E15 claim is about.
+  service::SloResult result;
+  for (auto _ : state)
+    result = service::measure_slo(slo_options(state.range(0), state.range(1)));
+  report(state, result);
+}
+
+void BM_ServiceSlo_Hedged(benchmark::State& state) {
+  // As Full, plus a hedged parallel attempt after 24 quiet rounds.
+  service::SloOptions options = slo_options(state.range(0), state.range(1));
+  options.lookup.hedge_after = 24;
+  service::SloResult result;
+  for (auto _ : state) result = service::measure_slo(options);
+  report(state, result);
+}
+
+void BM_ServiceSlo_NoDetect(benchmark::State& state) {
+  // Ablation: no failure detector — dead pointers are never evicted.
+  service::SloOptions options = slo_options(state.range(0), state.range(1));
+  options.detector = false;
+  service::SloResult result;
+  for (auto _ : state) result = service::measure_slo(options);
+  report(state, result);
+}
+
+void BM_ServiceSlo_NoRetry(benchmark::State& state) {
+  // Ablation: no retries — first timeout or miss dead-letters the request.
+  service::SloOptions options = slo_options(state.range(0), state.range(1));
+  options.lookup.max_retries = 0;
+  service::SloResult result;
+  for (auto _ : state) result = service::measure_slo(options);
+  report(state, result);
+}
+
+#define SSSW_SERVICE_ARGS \
+  ->Args({128, 10})->Args({1024, 10})->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_ServiceSlo_Full) SSSW_SERVICE_ARGS;
+BENCHMARK(BM_ServiceSlo_Hedged) SSSW_SERVICE_ARGS;
+BENCHMARK(BM_ServiceSlo_NoDetect) SSSW_SERVICE_ARGS;
+BENCHMARK(BM_ServiceSlo_NoRetry) SSSW_SERVICE_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,7 @@
 #include "analysis/phases.hpp"
 #include "analysis/stress.hpp"
 #include "obs/registry.hpp"
+#include "service/slo.hpp"
 #include "routing/greedy.hpp"
 #include "topology/stationary.hpp"
 #include "util/check.hpp"
@@ -229,6 +230,51 @@ CellResult run_recovery(const SweepCell& cell, obs::Registry* registry) {
   return out;
 }
 
+// --- E15: lookup SLO during crash recovery (doc/SERVICE.md) ----------------
+
+constexpr std::string_view kServiceParams[] = {"crash", "loss",  "rate", "retries",
+                                               "hedge", "detector", "k"};
+
+CellResult run_service(const SweepCell& cell, obs::Registry* registry) {
+  service::SloOptions options;
+  options.n = cell.n;
+  options.trials = cell.trials;
+  options.base_seed = cell.seed;
+  options.crash_frac = param_or(cell, "crash", 0.1);
+  options.message_loss = param_or(cell, "loss", 0.0);
+  options.protocol = ablation_config(cell);
+  // The two E15 ablation rows ride params, like E14's "mode": detector=0
+  // turns the failure detector off, retries=0 turns re-issue off.
+  options.detector = param_or(cell, "detector", 1.0) != 0.0;
+  options.protocol.lrl_count = static_cast<std::uint32_t>(
+      param_or(cell, "k", static_cast<double>(options.protocol.lrl_count)));
+  options.lookup.rate = param_or(cell, "rate", 4.0);
+  options.lookup.ttl = 512;
+  options.lookup.timeout_rounds = 192;
+  options.lookup.max_retries =
+      static_cast<std::uint32_t>(param_or(cell, "retries", 2.0));
+  options.lookup.hedge_after =
+      static_cast<std::uint32_t>(param_or(cell, "hedge", 0.0));
+  options.recovery_window = 64;
+  const service::SloResult r = service::measure_slo(options, registry);
+  CellResult out;
+  out.add("success_pre", r.pre.success);
+  out.add("success_during", r.during_crash.success);
+  out.add("success_post", r.post.success);
+  out.add("p999_lat_during", r.during_crash.p999_latency);
+  out.add("p999_lat_post", r.post.p999_latency);
+  out.add("recovery_rounds", r.recovery_rounds);
+  out.add("recovered", r.recovered_fraction);
+  out.add("in_window", r.recovered_in_window);
+  out.add("detection_window", static_cast<double>(r.detection_window));
+  out.add("issued", static_cast<double>(r.totals.issued));
+  out.add("deadletters", static_cast<double>(r.totals.deadletter_timeout +
+                                             r.totals.deadletter_no_progress +
+                                             r.totals.deadletter_target_dead +
+                                             r.totals.deadletter_ttl));
+  return out;
+}
+
 constexpr std::string_view kLinklenParams[] = {"process"};
 constexpr std::string_view kRoutingParams[] = {"pairs"};
 
@@ -261,6 +307,11 @@ constexpr ExperimentDescriptor kExperiments[] = {
      "Crash-stop recovery via the active probe/ack failure detector",
      /*uses_shape=*/false, /*uses_scheduler=*/false, /*uses_fault=*/false,
      /*uses_ablation=*/true, kRecoveryParams, run_recovery},
+    {"e15-service", "bench_service",
+     "Detector + retries restore ≥99% lookup success within the detection "
+     "window",
+     /*uses_shape=*/false, /*uses_scheduler=*/false, /*uses_fault=*/false,
+     /*uses_ablation=*/true, kServiceParams, run_service},
 };
 
 }  // namespace

@@ -57,7 +57,7 @@ struct ExperimentDescriptor {
   CellResult (*run)(const SweepCell& cell, obs::Registry* registry);
 };
 
-/// Every registered experiment, in catalog order (E1 → E14).
+/// Every registered experiment, in catalog order (E1 → E15).
 std::span<const ExperimentDescriptor> all_experiments();
 
 /// Lookup by config-facing name; nullptr when unknown.

@@ -5,9 +5,12 @@
 #include <charconv>
 #include <cstring>
 #include <iterator>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "core/network.hpp"
+#include "service/lookup_manager.hpp"
 #include "util/check.hpp"
 
 namespace sssw::analysis {
@@ -20,6 +23,7 @@ constexpr FuzzOracle kAllOracles[] = {
     FuzzOracle::kConnectivity,
     FuzzOracle::kEventualRing,
     FuzzOracle::kCrashRecovery,
+    FuzzOracle::kLookupLiveness,
 };
 
 bool has_crash_schedule(const FuzzCase& c) {
@@ -46,6 +50,8 @@ const char* to_string(FuzzOracle oracle) noexcept {
       return "eventual-ring";
     case FuzzOracle::kCrashRecovery:
       return "crash-recovery";
+    case FuzzOracle::kLookupLiveness:
+      return "lookup-liveness";
   }
   return "unknown";
 }
@@ -90,6 +96,13 @@ std::uint64_t round_bound(const FuzzCase& c) {
         d.probe_period;
     bound += c.crash_round + evict_latency * c.n +
              400 * static_cast<std::uint64_t>(c.n) + 4000;
+  }
+  if (c.lookup_rate > 0.0) {
+    // Headroom for the service failure horizon, so in-flight retries and
+    // hedges can drain before the verdict is taken.
+    bound += static_cast<std::uint64_t>(c.lookup_timeout) *
+                 (c.lookup_retries + 1) +
+             c.lookup_hedge;
   }
   return bound;
 }
@@ -144,6 +157,19 @@ FuzzCase sample_case(util::Rng& rng, std::size_t max_n) {
     c.crash_round = 4 + rng.below(32);
     c.protocol.detector.enabled = true;
   }
+  static constexpr double kLookupRateGrid[] = {0.5, 1.0, 2.0};
+  if (rng.bernoulli(0.25)) {
+    // In-band lookup load riding the run — plus the lookup-liveness oracle
+    // once it converges.  The configured timeout may be smaller than a sound
+    // one (that exercises the retry/dead-letter machinery); the oracle's own
+    // probe wave always uses a sound timeout, so small values here cannot
+    // fake a violation.
+    c.lookup_rate = kLookupRateGrid[rng.below(std::size(kLookupRateGrid))];
+    c.lookup_ttl = 16u << rng.below(3);           // 16 | 32 | 64
+    c.lookup_timeout = 16u << rng.below(2);       // 16 | 32
+    c.lookup_retries = static_cast<std::uint32_t>(rng.below(3));
+    c.lookup_hedge = rng.bernoulli(0.3) ? 8 : 0;
+  }
   return c;
 }
 
@@ -170,6 +196,33 @@ std::uint64_t fold_counters(const sim::EngineCounters& counters) {
   mix(counters.faults.replayed);
   mix(counters.faults.partition_dropped);
   for (const std::uint64_t sent : counters.sent_by_type) mix(sent);
+  return hash;
+}
+
+/// Continues the FNV fold over the lookup manager's lifetime totals, so a
+/// case that ran lookup load also pins the full service trajectory (every
+/// attempt, retry, hedge, and typed dead-letter).
+std::uint64_t fold_lookup_totals(std::uint64_t hash,
+                                 const service::LookupManager::Totals& t) {
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(t.issued);
+  mix(t.attempts);
+  mix(t.retries);
+  mix(t.hedges);
+  mix(t.succeeded);
+  mix(t.failed);
+  mix(t.stale);
+  mix(t.deadletter_timeout);
+  mix(t.deadletter_no_progress);
+  mix(t.deadletter_target_dead);
+  mix(t.deadletter_ttl);
+  mix(t.hop_sum);
+  mix(t.latency_sum);
   return hash;
 }
 
@@ -216,6 +269,21 @@ FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
   core::SmallWorldNetwork net =
       build_network(c, options.paranoid, options.shards);
   const sim::Engine& engine = net.engine();
+
+  // In-band lookup load riding the whole run (declared after `net`: the
+  // manager's round hook must be removed before the engine dies).
+  std::optional<service::LookupManager> lookups;
+  service::LookupManager::Totals lookup_totals{};
+  if (c.lookup_rate > 0.0) {
+    service::LookupConfig lookup_config;
+    lookup_config.rate = c.lookup_rate;
+    lookup_config.ttl = c.lookup_ttl;
+    lookup_config.timeout_rounds = c.lookup_timeout;
+    lookup_config.max_retries = c.lookup_retries;
+    lookup_config.hedge_after = c.lookup_hedge;
+    lookup_config.seed = c.seed;
+    lookups.emplace(net, lookup_config);
+  }
 
   const bool has_partition = c.faults.partition_rounds > 0;
   const bool has_loss = c.message_loss > 0.0;
@@ -279,6 +347,79 @@ FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
     }
   }
 
+  if (lookups) {
+    lookup_totals = lookups->totals();
+    lookups.reset();  // stop the open-loop load before the liveness wave
+  }
+
+  // Lookup-liveness oracle: converged + detector-healed ⇒ lookups to
+  // surviving targets eventually succeed.  Only sound once the ring is
+  // sorted (otherwise non-delivery is the expected transient) and, on crash
+  // cases, only with the detector on (without it the wedge is expected).
+  if (!violated && c.lookup_rate > 0.0 && net.sorted_ring() &&
+      engine.id_span().size() >= 2 && (!has_crash || detector_on)) {
+    // Quiesce: let quarantines expire and in-flight service traffic drain,
+    // so the wave judges the healed steady state, not the transient.
+    std::uint64_t quiesce = 16;
+    if (detector_on) quiesce += c.protocol.detector.quarantine_rounds;
+    net.run_rounds(quiesce);
+
+    // A fresh manager with a *sound* budget: timeout ≥ n + slack (a greedy
+    // walk never needs more than one hop per live node), bounded re-issue
+    // waves on top.  The case's own lookup_timeout may be smaller — that
+    // exercises the retry machinery but must not fake a violation.
+    const std::uint64_t span = engine.id_span().size();
+    service::LookupConfig probe_config;
+    probe_config.rate = 0.0;
+    probe_config.ttl = static_cast<std::uint32_t>(2 * span + 16);
+    probe_config.timeout_rounds = static_cast<std::uint32_t>(2 * span + 64);
+    probe_config.max_retries = 2;
+    probe_config.seed = c.seed ^ 0x70726f6265ull;  // "probe"
+    service::LookupManager prober(net, probe_config);
+
+    util::Rng pair_rng(c.seed ^ 0x6c6f6f6bull);  // "look"
+    const std::span<const sim::Id> live = engine.id_span();
+    struct ProbePair {
+      sim::Id source;
+      sim::Id target;
+      bool done = false;
+    };
+    std::vector<ProbePair> wave(std::min<std::size_t>(8, live.size()));
+    for (ProbePair& pair : wave) {
+      pair.source = live[pair_rng.below(live.size())];
+      pair.target = live[pair_rng.below(live.size())];
+    }
+    std::vector<std::uint64_t> requests(wave.size(), 0);
+    prober.set_completion_hook([&](const service::LookupCompletion& done) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i] == done.request && done.ok) wave[i].done = true;
+      }
+    });
+    const std::uint64_t horizon =
+        static_cast<std::uint64_t>(probe_config.timeout_rounds) *
+            (probe_config.max_retries + 1) +
+        64;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      bool outstanding = false;
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        if (wave[i].done) continue;
+        requests[i] = prober.issue(wave[i].source, wave[i].target);
+        outstanding = true;
+      }
+      if (!outstanding) break;
+      for (std::uint64_t round = 0; round < horizon && prober.pending() > 0;
+           ++round) {
+        net.run_rounds(1);
+      }
+    }
+    for (const ProbePair& pair : wave) {
+      if (!pair.done) {
+        fail(FuzzOracle::kLookupLiveness, engine.round());
+        break;
+      }
+    }
+  }
+
   if (options.invert) {
     // The hidden test hook: flip the named oracle's aggregate outcome so
     // the shrink + reproduce pipeline can be exercised on a healthy
@@ -299,6 +440,8 @@ FuzzVerdict run_case(const FuzzCase& c, const FuzzOptions& options) {
   verdict.rounds_run = engine.round();
   verdict.final_phase = net.phase();
   verdict.digest = fold_counters(engine.counters());
+  if (c.lookup_rate > 0.0)
+    verdict.digest = fold_lookup_totals(verdict.digest, lookup_totals);
   return verdict;
 }
 
@@ -334,6 +477,14 @@ FuzzCase shrink_case(const FuzzCase& failing, const FuzzOptions& options,
       [](FuzzCase& c) {  // ...or crash earlier (smaller prefix to replay)
         if (c.crash_round > 1) c.crash_round /= 2;
       },
+      [](FuzzCase& c) {  // drop the lookup load (and its oracle) entirely
+        c.lookup_rate = 0.0;
+        c.lookup_ttl = 64;
+        c.lookup_timeout = 32;
+        c.lookup_retries = 1;
+        c.lookup_hedge = 0;
+      },
+      [](FuzzCase& c) { c.lookup_hedge = 0; },  // ...or just the hedging
       [](FuzzCase& c) {  // drop the partition entirely...
         c.faults.partition_start = 0;
         c.faults.partition_rounds = 0;
@@ -531,6 +682,11 @@ std::string to_json(const FuzzRepro& repro) {
   num("message_loss", c.message_loss);
   num("crash_frac", c.crash_frac);
   num("crash_round", c.crash_round);
+  num("lookup_rate", c.lookup_rate);
+  num("lookup_ttl", c.lookup_ttl);
+  num("lookup_timeout", c.lookup_timeout);
+  num("lookup_retries", c.lookup_retries);
+  num("lookup_hedge", c.lookup_hedge);
   boolean("detector_enabled", c.protocol.detector.enabled);
   num("probe_period", c.protocol.detector.probe_period);
   num("suspect_threshold", c.protocol.detector.suspect_threshold);
@@ -623,6 +779,11 @@ std::optional<FuzzRepro> parse_repro(const std::string& json) {
     else if (k == "message_loss") ok = parse_double(v, c.message_loss);
     else if (k == "crash_frac") ok = parse_double(v, c.crash_frac);
     else if (k == "crash_round") ok = parse_int(v, c.crash_round);
+    else if (k == "lookup_rate") ok = parse_double(v, c.lookup_rate);
+    else if (k == "lookup_ttl") ok = parse_int(v, c.lookup_ttl);
+    else if (k == "lookup_timeout") ok = parse_int(v, c.lookup_timeout);
+    else if (k == "lookup_retries") ok = parse_int(v, c.lookup_retries);
+    else if (k == "lookup_hedge") ok = parse_int(v, c.lookup_hedge);
     else if (k == "detector_enabled") ok = parse_bool(v, c.protocol.detector.enabled);
     else if (k == "probe_period") ok = parse_int(v, c.protocol.detector.probe_period);
     else if (k == "suspect_threshold")

@@ -54,6 +54,14 @@ enum class FuzzOracle : std::uint8_t {
   /// connected at the bound (crash + loss + partition can legitimately
   /// sever them).
   kCrashRecovery,
+  /// Lookup liveness (src/service/): once the run has converged (sorted
+  /// ring; detector healed where a crash was scheduled), lookups issued to
+  /// surviving targets eventually succeed.  Checked only when the case ran
+  /// lookup load (lookup_rate > 0): after a quiesce window that lets
+  /// quarantines expire, a probe wave of sampled (source, target) pairs is
+  /// issued through a fresh manager with a sound timeout (≥ n + slack) and
+  /// bounded re-issues; a pair that never completes is a violation.
+  kLookupLiveness,
 };
 
 const char* to_string(FuzzOracle oracle) noexcept;
@@ -78,6 +86,16 @@ struct FuzzCase {
   /// no oracle demands it.
   double crash_frac = 0.0;
   std::uint64_t crash_round = 0;
+  /// In-band lookup load (service::LookupManager): when `lookup_rate` > 0 a
+  /// manager rides the whole run, issuing open-loop lookups concurrently
+  /// with stabilization, faults, loss, and crashes, and the lookup-liveness
+  /// oracle runs after convergence.  The default 0 attaches nothing, so
+  /// every pre-existing corpus case keeps its exact trajectory and digest.
+  double lookup_rate = 0.0;
+  std::uint32_t lookup_ttl = 64;
+  std::uint32_t lookup_timeout = 32;
+  std::uint32_t lookup_retries = 1;
+  std::uint32_t lookup_hedge = 0;  ///< hedge_after rounds; 0 = no hedging
 
   bool operator==(const FuzzCase&) const = default;
 };

@@ -1,11 +1,59 @@
 #include "analysis/service.hpp"
 
+#include <array>
+#include <span>
+
 #include "core/network.hpp"
-#include "core/views.hpp"
-#include "routing/greedy.hpp"
+#include "core/node.hpp"
+#include "routing/next_hop.hpp"
 #include "util/rng.hpp"
 
 namespace sssw::analysis {
+namespace {
+
+// One frozen-view greedy walk, taken with the *same* forwarding decision the
+// live lookup service uses (routing::select_next_hop) so this curve predicts
+// what service::LookupManager would deliver on the snapshot: every node is
+// treated as live (constant-false deadness — the snapshot has no channel
+// state to suspect anyone over) and fallback is off (strict progress cannot
+// loop, so no TTL is needed).
+struct Walk {
+  bool success = false;
+  std::size_t hops = 0;
+};
+
+Walk walk_pair(const core::SmallWorldNetwork& network, sim::Id source,
+               sim::Id target, std::size_t max_hops) {
+  Walk walk;
+  sim::Id current = source;
+  const auto alive = [](sim::Id) { return false; };
+  while (walk.hops <= max_hops) {
+    const core::SmallWorldNode* node = network.node(current);
+    if (node == nullptr) return walk;
+    std::array<sim::Id, routing::kMaxNextHopCandidates> candidates;
+    std::size_t count = 0;
+    candidates[count++] = node->l();
+    candidates[count++] = node->r();
+    candidates[count++] = node->ring();
+    for (const core::LongRangeLink& link : node->lrls()) {
+      if (count == candidates.size()) break;
+      candidates[count++] = link.target;
+    }
+    const routing::NextHop hop = routing::select_next_hop(
+        current, target, std::span<const sim::Id>(candidates.data(), count),
+        alive);
+    if (hop.outcome == routing::HopOutcome::kArrived) {
+      walk.success = true;
+      return walk;
+    }
+    if (hop.outcome != routing::HopOutcome::kForward) return walk;
+    current = hop.to;
+    ++walk.hops;
+  }
+  return walk;
+}
+
+}  // namespace
 
 std::vector<ServicePoint> measure_service_during_stabilization(
     topology::InitialShape shape, const ServiceOptions& options) {
@@ -26,12 +74,25 @@ std::vector<ServicePoint> measure_service_during_stabilization(
     ServicePoint point;
     point.round = network.engine().round();
     point.sorted_ring = network.sorted_ring();
-    const core::IdIndex index = network.make_index();
-    const auto cp = core::view_cp(network.engine(), index);
-    const auto stats =
-        routing::evaluate_routing(cp, eval_rng, options.routing_pairs, options.n);
-    point.success = stats.success_rate;
-    point.mean_hops = stats.hops.mean;
+    const std::span<const sim::Id> live = network.engine().id_span();
+    std::size_t delivered = 0;
+    std::size_t hop_sum = 0;
+    for (std::size_t pair = 0; pair < options.routing_pairs; ++pair) {
+      const sim::Id source = live[eval_rng.below(live.size())];
+      const sim::Id target = live[eval_rng.below(live.size())];
+      const Walk walk = walk_pair(network, source, target, options.n);
+      if (walk.success) {
+        ++delivered;
+        hop_sum += walk.hops;
+      }
+    }
+    point.success = options.routing_pairs > 0
+                        ? static_cast<double>(delivered) /
+                              static_cast<double>(options.routing_pairs)
+                        : 0.0;
+    point.mean_hops = delivered > 0 ? static_cast<double>(hop_sum) /
+                                          static_cast<double>(delivered)
+                                    : 0.0;
     curve.push_back(point);
 
     if (point.sorted_ring) {

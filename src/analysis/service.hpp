@@ -2,9 +2,12 @@
 //
 // The theorems describe the end state; an operator cares how usable the
 // overlay is on the way there.  This driver runs a computation from a given
-// initial shape and, every `sample_every` rounds, snapshots the CP view and
-// measures greedy-routing success and hop count over random pairs — the
-// "service quality during recovery" curve.
+// initial shape and, every `sample_every` rounds, walks greedy lookups over
+// the frozen node state for random pairs — the "service quality during
+// recovery" curve.  Each walk takes the *same* forwarding decision the live
+// in-band lookup service uses (routing::select_next_hop, see src/service/
+// and doc/SERVICE.md): one routing decision function, two drivers, so the
+// snapshot curve and the live SLO bench (E15) cannot drift apart.
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,10 @@
-// messages.hpp — the seven message types of the protocol (§III).
+// messages.hpp — the message types of the protocol (§III) and the in-band
+// lookup service (doc/SERVICE.md).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <optional>
 
 #include "sim/message.hpp"
 
@@ -17,9 +20,58 @@ enum MsgType : sim::MessageType {
   kProbl = 6,   ///< leftward probing message, payload is the probe target
   kPing = 7,    ///< liveness probe from the active failure detector (id1 = prober)
   kPong = 8,    ///< ping reply: (id1, id2) = responder's (l, r) view, id3 = responder
-  kNumMsgTypes = 9
+  // Lookup service (doc/SERVICE.md): greedy lookups as real in-band traffic.
+  kLookup = 9,      ///< forwarded query: id1 = target, id2 = origin, id3 = token
+  kLookupHit = 10,  ///< target reached: same layout, token carries remaining ttl
+  kLookupMiss = 11, ///< dead-lettered at a hop: token carries the failure reason
+  kNumMsgTypes = 12
 };
 
 const char* msg_type_name(sim::MessageType type) noexcept;
+
+/// Wire-level failure reason carried in a lookup token (2 bits).
+enum class LookupReason : std::uint8_t {
+  kNone = 0,          ///< in flight / hit
+  kNoProgress = 1,    ///< no live pointer strictly closer to the target
+  kTargetDead = 2,    ///< a hop's detector holds the target suspected/quarantined
+  kTtlExhausted = 3,  ///< per-hop budget ran out before arrival
+};
+
+/// A lookup token rides in Message::id3 as one exact-integer double:
+///   token = (seq * 4096 + ttl) * 4 + reason
+/// ttl < 4096, reason < 4, seq < 2^39 — the product stays below 2^53, so the
+/// encoding is lossless in a double and survives any channel adversary that
+/// preserves message payloads bit-for-bit (all of ours do).
+struct LookupToken {
+  std::uint64_t seq = 0;   ///< per-manager attempt sequence number
+  std::uint32_t ttl = 0;   ///< remaining hop budget
+  LookupReason reason = LookupReason::kNone;
+};
+
+inline constexpr std::uint32_t kLookupMaxTtl = 4095;
+inline constexpr std::uint64_t kLookupMaxSeq = (1ull << 39) - 1;
+
+inline sim::Id pack_lookup_token(const LookupToken& token) noexcept {
+  const std::uint64_t bits =
+      (token.seq * 4096 + token.ttl) * 4 +
+      static_cast<std::uint64_t>(token.reason);
+  return static_cast<sim::Id>(bits);
+}
+
+/// Strict decoder: anything a fault adversary could have corrupted into the
+/// id3 slot (non-finite, negative, fractional, out of range) decodes to
+/// nullopt and the carrying message is ignored as channel garbage.
+inline std::optional<LookupToken> unpack_lookup_token(sim::Id raw) noexcept {
+  if (!std::isfinite(raw) || raw < 0.0 || raw >= 9007199254740992.0 ||
+      raw != std::floor(raw))
+    return std::nullopt;
+  const std::uint64_t bits = static_cast<std::uint64_t>(raw);
+  LookupToken token;
+  token.reason = static_cast<LookupReason>(bits & 3);
+  token.ttl = static_cast<std::uint32_t>((bits >> 2) & 4095);
+  token.seq = bits >> 14;
+  if (token.seq > kLookupMaxSeq) return std::nullopt;
+  return token;
+}
 
 }  // namespace sssw::core

@@ -1,9 +1,11 @@
 #include "core/node.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "core/invariant_tracker.hpp"
 #include "core/node_metrics.hpp"
+#include "routing/next_hop.hpp"
 #include "util/check.hpp"
 
 namespace sssw::core {
@@ -33,6 +35,12 @@ const char* msg_type_name(sim::MessageType type) noexcept {
       return "ping";
     case kPong:
       return "pong";
+    case kLookup:
+      return "lookup";
+    case kLookupHit:
+      return "lookup-hit";
+    case kLookupMiss:
+      return "lookup-miss";
     default:
       return "?";
   }
@@ -177,12 +185,14 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
       linearize(ctx, m.id1);
       break;
     case kInclrl:
+      remember_contact(m.id1);  // the requester itself — live at send time
       if (config().move_and_forget_enabled) respond_lrl(ctx, m.id1);
       break;
     case kReslrl:
       if (config().move_and_forget_enabled) move_forget(ctx, m.id1, m.id2, m.id3);
       break;
     case kRing:
+      remember_contact(m.id1);  // the walk's origin announces itself
       respond_ring(ctx, m.id1);
       break;
     case kResring:
@@ -196,28 +206,41 @@ void SmallWorldNode::on_message(sim::Context& ctx, const sim::Message& m) {
       break;
     case kPing:
       // Unconditional reply = detector completeness: a live node always
-      // answers, whatever its own protocol state.  The pong carries this
-      // node's (l, r) view (possibly ±∞ — ctx.send directly, the sentinel-
-      // suppressing send() would drop it) so the prober can re-link through
-      // it if this node later crashes.  A ping from a quarantined id is the
-      // one exception: answering would hand the dead id fresh pointers.
-      // Mere *suspicion* must NOT silence the reply, though — a suspected
-      // prober that is in fact alive needs this pong to clear the suspicion
-      // on its own side; refusing would turn any transient one-sided
-      // suspicion (a lost pong, an unlucky tick) mutual and self-fulfilling,
-      // and under message loss both sides end up evicting a live neighbour.
-      if (config().detector.enabled && is_node_id(m.id1) &&
-          !is_suspected(m.id1) &&
-          !(detector_ != nullptr && detector_->is_quarantined(m.id1, now_))) {
+      // answers, whatever its own protocol state — including pings from ids
+      // this node itself suspects or has quarantined.  Under crash-stop a
+      // ping *proves* the prober is alive (crashed nodes send nothing; a
+      // replayed ping from a truly dead id only earns a pong the engine
+      // drops), so suppression has no upside, and it has a fatal downside:
+      // if A refuses B's pings while A quarantines B, B's detector starves,
+      // B evicts and quarantines A just as A's quarantine of B expires, and
+      // the pair locks into a perpetual alternating mutual-quarantine cycle
+      // — two live ring neighbours permanently dead to each other (exposed
+      // by the E15 lookup-SLO bench as a never-healing blackhole pair).
+      // The pong carries this node's (l, r) view (possibly ±∞ — ctx.send
+      // directly, the sentinel-suppressing send() would drop it) so the
+      // prober can re-link through it if this node later crashes.
+      remember_contact(m.id1);  // the prober itself — live at send time
+      if (config().detector.enabled && is_node_id(m.id1)) {
         ctx.send(m.id1, sim::Message{kPong, lv(), rv(), id_});
         if (metrics_ != nullptr) metrics_->detector_acks.add(1);
       }
       break;
     case kPong:
+      remember_contact(m.id3);  // the responder itself — live at send time
       if (detector_ != nullptr) {
         detector_->on_pong(m.id3, m.id1, m.id2);
         if (metrics_ != nullptr) metrics_->detector_pongs.add(1);
       }
+      break;
+    case kLookup:
+      handle_lookup(ctx, m);
+      break;
+    case kLookupHit:
+    case kLookupMiss:
+      // Completions buffer for the LookupManager's sequential round-hook
+      // drain; without a manager these are channel garbage like any other
+      // unknown payload.
+      if (service_enabled_) service_inbox_.push_back(m);
       break;
     default:
       break;  // unknown types are ignored (self-stabilization: garbage in channels)
@@ -292,6 +315,34 @@ void SmallWorldNode::apply_eviction(sim::Context& ctx,
     linearize(ctx, ev.via_r);
   }
   tidy_ring();
+}
+
+void SmallWorldNode::remember_contact(Id id) noexcept {
+  if (!is_node_id(id) || id == id_) return;
+  if (rescue_.front() == id) return;
+  // MRU with dedup: shift down to where the id already sits (or the tail).
+  std::size_t hold = rescue_.size() - 1;
+  for (std::size_t i = 1; i + 1 < rescue_.size(); ++i) {
+    if (rescue_[i] == id) {
+      hold = i;
+      break;
+    }
+  }
+  for (std::size_t i = hold; i > 0; --i) rescue_[i] = rescue_[i - 1];
+  rescue_.front() = id;
+}
+
+void SmallWorldNode::attempt_rescue(sim::Context& ctx) {
+  if (lv() != kNegInf || rv() != kPosInf) return;  // still on the line
+  for (const Id contact : rescue_) {
+    if (!is_node_id(contact) || contact == id_) continue;
+    // A plain lin announcement, not an adoption: if the contact crashed too
+    // the send is dropped; any live contact re-enters this node into normal
+    // linearization (no quarantine gate — a node with no pointers left has
+    // nothing to protect and everything to regain).
+    ctx.send(contact, sim::Message{kLin, id_});
+    if (metrics_ != nullptr) metrics_->detector_rescues.add(1);
+  }
 }
 
 void SmallWorldNode::on_timer(sim::Context& ctx, std::uint64_t tag) {
@@ -375,6 +426,7 @@ void SmallWorldNode::on_regular(sim::Context& ctx) {
     probe_timer_armed_ = true;
   }
   tick_failure_detector();
+  attempt_rescue(ctx);
   send_id(ctx);
   if (config().probing_enabled) {
     if (probe_countdown_ == 0) {
@@ -607,6 +659,91 @@ void SmallWorldNode::send_id(sim::Context& ctx) {
   // itself with its own neighbours and the walk restarts from the origin.
   if (config().move_and_forget_enabled)
     for (const LongRangeLink& link : links()) send(ctx, link.target, kInclrl, id_);
+}
+
+// ---------------------------------------------------------------------------
+// In-band lookup forwarding (doc/SERVICE.md) — not a paper algorithm.  The
+// greedy descent itself is Algorithms 5/6/10's; the decision is shared with
+// the frozen-view evaluator via routing::select_next_hop so the two paths
+// cannot drift.
+// ---------------------------------------------------------------------------
+
+void SmallWorldNode::handle_lookup(sim::Context& ctx, const sim::Message& m) {
+  const Id target = m.id1;
+  const Id origin = m.id2;
+  const auto token = unpack_lookup_token(m.id3);
+  if (!token || !is_node_id(target) || !is_node_id(origin)) return;  // garbage
+  remember_contact(origin);  // live when the manager issued the attempt
+  if (target == id_) {
+    // Hit: echo the token unchanged — the remaining ttl lets the origin
+    // compute the hop count without any per-hop state.
+    ctx.send(origin, sim::Message{kLookupHit, target, origin, m.id3});
+    if (metrics_ != nullptr) metrics_->service_hits.add(1);
+    return;
+  }
+  LookupToken out = *token;
+  const auto miss = [&](LookupReason reason) {
+    out.reason = reason;
+    ctx.send(origin,
+             sim::Message{kLookupMiss, target, origin, pack_lookup_token(out)});
+    if (metrics_ != nullptr) metrics_->service_misses.add(1);
+  };
+  if (is_dead(target)) {
+    miss(LookupReason::kTargetDead);
+    return;
+  }
+  // Passive repair.  A dropped lookup destroys the service plane's copy of
+  // `target` — but an id in flight is exactly the currency Lemma 4.10's
+  // connectivity preservation is proved over, and a crash can sever the
+  // survivors into closed line segments whose only remaining bridges are
+  // lookup targets sampled from the far side.  At every point where this
+  // node would discard the id (ttl exhausted, or no live pointer at all),
+  // hand it to linearization instead — adopt or forward, never drop — so
+  // lookup load doubles as repair traffic.  `target` is not locally dead
+  // here (checked above), so this never readopts an evicted pointer.
+  const auto preserve = [&] {
+    if (metrics_ != nullptr) metrics_->service_repairs.add(1);
+    linearize(ctx, target);
+  };
+  if (token->ttl == 0) {
+    if (metrics_ != nullptr) metrics_->service_ttl_drops.add(1);
+    preserve();
+    miss(LookupReason::kTtlExhausted);
+    return;
+  }
+  // Candidates in the canonical l, r, ring, lrl order (next_hop.hpp).
+  std::array<Id, routing::kMaxNextHopCandidates> candidates;
+  std::size_t count = 0;
+  candidates[count++] = lv();
+  candidates[count++] = rv();
+  candidates[count++] = ringv();
+  for (const LongRangeLink& link : links()) {
+    if (count == candidates.size()) break;
+    candidates[count++] = link.target;
+  }
+  // Graceful degradation: suspected/quarantined hops are skipped (counted)
+  // and the best remaining pointer carries the lookup around the damage.
+  const auto dead = [this](Id id) {
+    if (!is_dead(id)) return false;
+    if (metrics_ != nullptr) metrics_->service_dead_skips.add(1);
+    return true;
+  };
+  const routing::NextHop hop = routing::select_next_hop(
+      id_, target, std::span<const Id>(candidates.data(), count), dead,
+      /*allow_fallback=*/true);
+  if (hop.outcome == routing::HopOutcome::kForward) {
+    out.ttl = token->ttl - 1;
+    ctx.send(hop.to,
+             sim::Message{kLookup, target, origin, pack_lookup_token(out)});
+    if (metrics_ != nullptr) metrics_->service_forwards.add(1);
+    return;
+  }
+  if (hop.outcome == routing::HopOutcome::kTargetDead) {
+    miss(LookupReason::kTargetDead);
+    return;
+  }
+  preserve();
+  miss(LookupReason::kNoProgress);
 }
 
 // ---------------------------------------------------------------------------

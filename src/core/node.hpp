@@ -17,8 +17,11 @@
 // identifiers.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/detector.hpp"
@@ -93,6 +96,13 @@ class SmallWorldNode final : public sim::Process {
   /// gauge.
   std::size_t quarantined_count() const noexcept;
 
+  /// Most-recent-first cache of ids that provably messaged this node (the
+  /// isolation-rescue contact list; kPosInf = empty slot).  Exposed for
+  /// tests — see attempt_rescue() for the protocol role.
+  std::span<const sim::Id> rescue_contacts() const noexcept {
+    return {rescue_.data(), rescue_.size()};
+  }
+
   /// Number of times this node's long-range link was forgotten (reset).
   std::uint64_t forget_count() const noexcept { return store_->forgets(slot_); }
   /// Largest age the long-range link ever reached (for E10).
@@ -128,6 +138,20 @@ class SmallWorldNode final : public sim::Process {
   /// may be null to detach).  See core/node_metrics.hpp.
   void set_metrics(NodeMetrics* metrics) noexcept { metrics_ = metrics; }
 
+  // --- in-band lookup service (src/service/, doc/SERVICE.md) -----------
+  /// Opts this node into the completion inbox: kLookupHit/kLookupMiss
+  /// messages addressed here are buffered for the LookupManager's
+  /// sequential round-hook drain instead of being ignored as channel
+  /// garbage.  Only the manager sets it (on lookup origins), so runs
+  /// without a manager stay byte-identical to pre-service builds.
+  void enable_service() noexcept { service_enabled_ = true; }
+  bool service_enabled() const noexcept { return service_enabled_; }
+  /// Moves the buffered completions out (call from sequential sections
+  /// only — the round hook, between rounds, or tests).
+  std::vector<sim::Message> drain_service_inbox() {
+    return std::exchange(service_inbox_, {});
+  }
+
   /// Points this node at the network's incremental invariant tracker (not
   /// owned; may be null to detach).  The node reports l/r writes, link-
   /// target writes, and forget_count advances — see invariant_tracker.hpp
@@ -154,6 +178,12 @@ class SmallWorldNode final : public sim::Process {
   /// non-finite.
   void send(sim::Context& ctx, sim::Id to, sim::MessageType type, sim::Id id1,
             sim::Id id2 = sim::kPosInf);
+
+  /// One forwarding step of an in-band lookup (doc/SERVICE.md): answer if
+  /// this node is the target, otherwise pick the live pointer strictly
+  /// closest to it (routing::select_next_hop with is_dead as the deadness
+  /// predicate) or dead-letter with a typed reason.
+  void handle_lookup(sim::Context& ctx, const sim::Message& m);
 
   /// Drops the inert ring self-link once both list neighbours exist
   /// ("resetting them over time", §III).
@@ -183,6 +213,21 @@ class SmallWorldNode final : public sim::Process {
   /// it still occupies, then re-links toward the dead node's last reported
   /// (l, r) view so the survivors' line re-closes around the gap.
   void apply_eviction(sim::Context& ctx, const FailureDetector::Eviction& ev);
+
+  /// Records `id` as a live contact (MRU, deduplicated): callers pass only
+  /// message fields naming a node that was live when the message entered
+  /// the network (the prober/responder/requester itself, or a lookup's
+  /// origin) — never forwarded third-party ids, which may be long dead.
+  void remember_contact(sim::Id id) noexcept;
+
+  /// Isolation rescue: while this node holds *no* line pointer at all
+  /// (l = −∞ and r = ∞ simultaneously), re-announce its id to the cached
+  /// contacts.  A mass crash can take out a node's entire (clustered)
+  /// pointer neighbourhood; the node then evicts every slot, the survivors'
+  /// line re-closes around it, and — silent and unreferenced — it is
+  /// partitioned out of the overlay forever even though it is alive.  One
+  /// lin to any surviving contact re-enters it into normal linearization.
+  void attempt_rescue(sim::Context& ctx);
 
   // Invariant-tracker notifications, one per mutated aspect; no-ops while
   // detached.  Defined in node.cpp (the tracker is an incomplete type here).
@@ -242,8 +287,19 @@ class SmallWorldNode final : public sim::Process {
   // and keeps the send path byte-identical to the detector-less build.
   std::unique_ptr<FailureDetector> detector_;
   bool probe_timer_armed_ = false;
+  /// Last-resort contact cache (see attempt_rescue); MRU order, kPosInf =
+  /// empty.  Four slots survive a 10% mass crash with probability ~1−10⁻⁴
+  /// per isolated node while keeping the rescue fan-out trivially bounded.
+  static constexpr std::size_t kRescueContacts = 4;
+  std::array<sim::Id, kRescueContacts> rescue_{sim::kPosInf, sim::kPosInf,
+                                               sim::kPosInf, sim::kPosInf};
   std::uint64_t now_ = 0;  ///< last round observed via a Context (quarantine clock)
   std::vector<sim::Id> pointer_scratch_;  ///< tick() snapshot, canonical order
+  // Lookup-service completion inbox: only this node's own receive action
+  // appends (lane-safe under sharding) and only the sequential round-hook
+  // drain reads, so no synchronization is needed.
+  bool service_enabled_ = false;
+  std::vector<sim::Message> service_inbox_;
 };
 
 /// Typed downcast for hot inspection paths: a process-kind check plus a

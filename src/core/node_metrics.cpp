@@ -18,6 +18,13 @@ NodeMetrics::NodeMetrics(obs::Registry& registry)
       detector_retries(registry.counter("node.detector.retries")),
       detector_evictions(registry.counter("node.detector.evictions")),
       detector_quarantine_hits(
-          registry.counter("node.detector.quarantine.hits")) {}
+          registry.counter("node.detector.quarantine.hits")),
+      detector_rescues(registry.counter("node.detector.rescues")),
+      service_forwards(registry.counter("node.service.forwards")),
+      service_hits(registry.counter("node.service.hits")),
+      service_misses(registry.counter("node.service.misses")),
+      service_dead_skips(registry.counter("node.service.dead-skips")),
+      service_ttl_drops(registry.counter("node.service.ttl-drops")),
+      service_repairs(registry.counter("node.service.repairs")) {}
 
 }  // namespace sssw::core

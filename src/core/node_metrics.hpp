@@ -31,6 +31,15 @@ struct NodeMetrics {
   obs::Counter& detector_retries;     ///< backoff retry pings after suspicion
   obs::Counter& detector_evictions;   ///< pointers evicted (dead id quarantined)
   obs::Counter& detector_quarantine_hits;  ///< adoptions/spreads blocked by the detector
+  obs::Counter& detector_rescues;     ///< isolation rescue announcements sent
+  // In-band lookup service (src/service/, doc/SERVICE.md); all zero unless a
+  // LookupManager injects load.
+  obs::Counter& service_forwards;     ///< lookups forwarded one hop
+  obs::Counter& service_hits;         ///< lookups answered at their target
+  obs::Counter& service_misses;       ///< lookups dead-lettered at a hop
+  obs::Counter& service_dead_skips;   ///< next-hop candidates skipped as dead
+  obs::Counter& service_ttl_drops;    ///< misses caused by ttl exhaustion
+  obs::Counter& service_repairs;      ///< dead-end targets fed to linearization
 };
 
 }  // namespace sssw::core

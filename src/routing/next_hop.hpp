@@ -1,0 +1,100 @@
+// next_hop.hpp — the one greedy forwarding decision, shared by every driver.
+//
+// The in-band lookup service (src/service/, doc/SERVICE.md) and the
+// snapshot-sampled evaluation in analysis/service.* must route identically,
+// or the frozen-view curve stops predicting live service quality.  Both
+// therefore call select_next_hop(): given a node's stored pointers
+// (l, r, ring, lrls) and a deadness predicate, pick the live candidate
+// strictly closest to the target in id space.
+//
+// Id-space distance — not ring-rank distance — because a live node cannot
+// know ranks: |a − b| over the ids themselves is exactly what Algorithms
+// 5/6/10 descend on.  Strict progress (the chosen hop must be closer than
+// the current node) guarantees loop-freedom: the distance is a positive
+// rational that shrinks every hop, so a lookup either arrives, or proves
+// locally that no live pointer makes progress (kNoProgress).
+//
+// Header-only by design: core::SmallWorldNode forwards live lookups through
+// this function, and core cannot link against sssw_routing (routing already
+// links core).  A template over the deadness predicate also lets the live
+// path plug in the failure detector while frozen-view evaluation passes a
+// constant-false.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "sim/id.hpp"
+
+namespace sssw::routing {
+
+/// Outcome of one forwarding decision.
+enum class HopOutcome : std::uint8_t {
+  kArrived,     ///< self == target: the lookup is answered here
+  kForward,     ///< `to` is the live candidate strictly closest to target
+  kNoProgress,  ///< no live candidate improves on self — dead-letter
+  kTargetDead,  ///< the deadness predicate holds the target itself
+};
+
+struct NextHop {
+  HopOutcome outcome = HopOutcome::kNoProgress;
+  sim::Id to = sim::kNegInf;  ///< meaningful iff outcome == kForward
+};
+
+/// Upper bound on candidates a caller ever gathers (l + r + ring + lrls).
+inline constexpr std::size_t kMaxNextHopCandidates = 16;
+
+inline bool is_routable_id(sim::Id id) noexcept {
+  return std::isfinite(id);
+}
+
+/// One greedy forwarding decision at `self` toward `target` over the stored
+/// pointer candidates.  `dead(id)` is consulted for the target and for every
+/// candidate (graceful degradation: suspected/quarantined hops are skipped
+/// and the best remaining pointer wins).  Ties in distance break toward the
+/// earliest candidate, so callers must gather in the canonical order
+/// l, r, ring, lrl[0..k) for cross-driver determinism.
+///
+/// `allow_fallback` picks between the two drivers' progress rules:
+///  - false (snapshot evaluation): strict progress only.  The distance to
+///    the target shrinks every hop, so a walk over a frozen view either
+///    arrives or proves no live pointer helps — never loops.
+///  - true (live service): when no live candidate makes strict progress —
+///    a crash gap whose repair is still in flight — forward to the best
+///    remaining live pointer anyway and let the per-hop TTL bound the
+///    wandering.  The lookup rides live rounds, so by the time it revisits
+///    the gap the detector has usually evicted the dead pointer and repair
+///    has bridged it; dead-lettering immediately would turn every
+///    still-healing gap into a kNoProgress failure.
+template <typename DeadFn>
+NextHop select_next_hop(sim::Id self, sim::Id target,
+                        std::span<const sim::Id> candidates, DeadFn&& dead,
+                        bool allow_fallback = false) {
+  if (self == target) return {HopOutcome::kArrived, self};
+  if (dead(target)) return {HopOutcome::kTargetDead, sim::kNegInf};
+  const double own = std::abs(self - target);
+  NextHop best;
+  double best_distance = own;
+  NextHop fallback;
+  double fallback_distance = std::numeric_limits<double>::infinity();
+  for (const sim::Id candidate : candidates) {
+    if (!is_routable_id(candidate) || candidate == self) continue;
+    const double distance = std::abs(candidate - target);
+    if (distance >= best_distance) {
+      if (allow_fallback && distance < fallback_distance && !dead(candidate)) {
+        fallback = {HopOutcome::kForward, candidate};
+        fallback_distance = distance;
+      }
+      continue;  // strict progress only
+    }
+    if (dead(candidate)) continue;
+    best = {HopOutcome::kForward, candidate};
+    best_distance = distance;
+  }
+  if (best.outcome == HopOutcome::kForward) return best;
+  return fallback.outcome == HopOutcome::kForward ? fallback : best;
+}
+
+}  // namespace sssw::routing

@@ -28,6 +28,7 @@
 
 #include "analysis/fuzz.hpp"
 #include "core/network.hpp"
+#include "service/lookup_manager.hpp"
 #include "topology/initial_states.hpp"
 #include "util/rng.hpp"
 
@@ -88,16 +89,40 @@ std::uint64_t state_digest(const SmallWorldNetwork& net) {
   return hash;
 }
 
+/// Folds the lookup manager's lifetime totals — every issued attempt, retry,
+/// hedge, success, and typed dead-letter.  The service plane routes through
+/// whatever pointers each round's merge produced, so a shard-dependent merge
+/// would surface here even if the structural digests happened to agree.
+std::uint64_t lookup_digest(const service::LookupManager::Totals& t) {
+  std::uint64_t hash = 14695981039346656037ull;
+  hash = fnv1a(hash, t.issued);
+  hash = fnv1a(hash, t.attempts);
+  hash = fnv1a(hash, t.retries);
+  hash = fnv1a(hash, t.hedges);
+  hash = fnv1a(hash, t.succeeded);
+  hash = fnv1a(hash, t.failed);
+  hash = fnv1a(hash, t.stale);
+  hash = fnv1a(hash, t.deadletter_timeout);
+  hash = fnv1a(hash, t.deadletter_no_progress);
+  hash = fnv1a(hash, t.deadletter_target_dead);
+  hash = fnv1a(hash, t.deadletter_ttl);
+  hash = fnv1a(hash, t.hop_sum);
+  hash = fnv1a(hash, t.latency_sum);
+  return hash;
+}
+
 struct TrialDigest {
   std::uint64_t rounds = 0;
   std::uint64_t counters = 0;
   std::uint64_t state = 0;
+  std::uint64_t lookups = 0;
 
   bool operator==(const TrialDigest&) const = default;
 };
 
 /// One adversarial trial: 32 nodes from a random tree, loss + duplication +
-/// delay + replay faults, the active detector, two mid-run crash-stops.
+/// delay + replay faults, the active detector, open-loop lookup load with
+/// retries and hedging, two mid-run crash-stops.
 TrialDigest run_trial(sim::SchedulerKind scheduler, std::size_t shards,
                       std::uint64_t seed) {
   NetworkOptions options;
@@ -118,6 +143,16 @@ TrialDigest run_trial(sim::SchedulerKind scheduler, std::size_t shards,
   SmallWorldNetwork net(options);
   net.add_nodes(topology::make_initial_state(topology::InitialShape::kRandomTree,
                                              random_ids(32, rng), rng));
+
+  service::LookupConfig lookup_config;
+  lookup_config.rate = 1.0;
+  lookup_config.ttl = 24;
+  lookup_config.timeout_rounds = 16;
+  lookup_config.max_retries = 1;
+  lookup_config.hedge_after = 8;
+  lookup_config.seed = seed;
+  service::LookupManager lookups(net, lookup_config);
+
   net.run_rounds(30);
 
   // Crash two deterministic picks (same for every shard count: the id list
@@ -132,6 +167,7 @@ TrialDigest run_trial(sim::SchedulerKind scheduler, std::size_t shards,
   digest.rounds = net.engine().round();
   digest.counters = counters_digest(net.engine().counters());
   digest.state = state_digest(net);
+  digest.lookups = lookup_digest(lookups.totals());
   return digest;
 }
 
@@ -145,6 +181,8 @@ TEST(Shards, TwinRunsMatchAcrossShardCountsForEveryScheduler) {
       EXPECT_EQ(twin.counters, baseline.counters)
           << "scheduler " << static_cast<int>(scheduler) << " shards " << shards;
       EXPECT_EQ(twin.state, baseline.state)
+          << "scheduler " << static_cast<int>(scheduler) << " shards " << shards;
+      EXPECT_EQ(twin.lookups, baseline.lookups)
           << "scheduler " << static_cast<int>(scheduler) << " shards " << shards;
     }
   }

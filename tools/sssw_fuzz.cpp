@@ -115,7 +115,8 @@ int main(int argc, char** argv) {
            &refresh_path);
   cli.flag("invert-oracle",
            "test hook: flip this oracle's outcome (phase-monotone | "
-           "lrls-resolve | connectivity | eventual-ring | crash-recovery)",
+           "lrls-resolve | connectivity | eventual-ring | crash-recovery | "
+           "lookup-liveness)",
            &invert_name);
   cli.flag("no-shrink", "report violations without shrinking", &no_shrink);
   cli.flag("emit-all",

@@ -27,6 +27,10 @@
 // --failure-detector on, the detector.* counters flow into the same stream.
 // --crash-frac F --crash-round R crash-stops a random F of the nodes once
 // `step`/`until-ring` reach round R (same id-pick recipe as sssw_fuzz).
+// --lookup-rate R attaches the in-band lookup service (doc/SERVICE.md):
+// open-loop greedy lookups ride every round alongside stabilization, with
+// --lookup-ttl / --lookup-timeout / --lookup-retries / --lookup-hedge
+// shaping the retry policy; totals print at exit.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -47,6 +51,7 @@
 #include "obs/snapshotter.hpp"
 #include "routing/greedy.hpp"
 #include "routing/probe_path.hpp"
+#include "service/lookup_manager.hpp"
 #include "topology/initial_states.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -124,6 +129,11 @@ int main(int argc, char** argv) {
   double message_loss = 0.0;
   double crash_frac = 0.0;
   std::int64_t crash_round = 0;
+  double lookup_rate = 0.0;
+  std::int64_t lookup_ttl = 256;
+  std::int64_t lookup_timeout = 128;
+  std::int64_t lookup_retries = 2;
+  std::int64_t lookup_hedge = 0;
   std::int64_t shards = 1;
   std::string script;
   std::string metrics_path;
@@ -177,6 +187,20 @@ int main(int argc, char** argv) {
   cli.flag("crash-round",
            "round at which --crash-frac of the nodes crash (0 = never)",
            &crash_round);
+  cli.flag("lookup-rate",
+           "in-band lookup service (doc/SERVICE.md): mean lookups issued per "
+           "round (0 = service off)",
+           &lookup_rate);
+  cli.flag("lookup-ttl", "lookup service: per-attempt hop budget", &lookup_ttl);
+  cli.flag("lookup-timeout",
+           "lookup service: rounds before an attempt times out",
+           &lookup_timeout);
+  cli.flag("lookup-retries",
+           "lookup service: re-issues after a timeout or miss", &lookup_retries);
+  cli.flag("lookup-hedge",
+           "lookup service: rounds before a duplicate attempt is hedged "
+           "(0 = no hedging)",
+           &lookup_hedge);
   cli.flag("script", "read commands from this file instead of stdin", &script);
   cli.flag("metrics", "stream the metrics registry to this JSONL file", &metrics_path);
   cli.flag("metrics-every", "rounds between metric snapshots", &metrics_every);
@@ -237,6 +261,14 @@ int main(int argc, char** argv) {
                  "--message-loss and --crash-frac must lie in [0,1), "
                  "--crash-round must be non-negative, --probe-period and "
                  "--suspect-threshold must be positive\n");
+    return 1;
+  }
+  if (lookup_rate < 0 || lookup_ttl < 1 || lookup_timeout < 1 ||
+      lookup_retries < 0 || lookup_hedge < 0) {
+    std::fprintf(stderr,
+                 "--lookup-rate must be non-negative, --lookup-ttl and "
+                 "--lookup-timeout positive, --lookup-retries and "
+                 "--lookup-hedge non-negative\n");
     return 1;
   }
 
@@ -305,10 +337,41 @@ int main(int argc, char** argv) {
     maybe_crash();
   };
 
-  // Optional observability stream: registry + snapshotter outlive the
-  // network (load replaces it), so they are re-wired after every swap.
+  // Optional in-band lookup load (doc/SERVICE.md).  The manager hooks the
+  // engine's round loop, so it must be torn down before `load` replaces the
+  // network (the hook would dangle into the dead engine) and re-attached to
+  // the restored one.
+  std::optional<service::LookupManager> lookups;
+  service::LookupManager::Totals lookup_totals{};
+  service::LookupConfig lookup_config;
+  lookup_config.rate = lookup_rate;
+  lookup_config.ttl = static_cast<std::uint32_t>(lookup_ttl);
+  lookup_config.timeout_rounds = static_cast<std::uint32_t>(lookup_timeout);
+  lookup_config.max_retries = static_cast<std::uint32_t>(lookup_retries);
+  lookup_config.hedge_after = static_cast<std::uint32_t>(lookup_hedge);
+  lookup_config.seed = static_cast<std::uint64_t>(seed);
   obs::Registry registry;
   std::optional<obs::Snapshotter> snapshotter;
+  const auto wire_lookups = [&](core::SmallWorldNetwork& target) {
+    if (lookup_rate <= 0.0) return;
+    lookups.emplace(target, lookup_config);
+    if (snapshotter.has_value()) lookups->attach_metrics(registry);
+  };
+  const auto drop_lookups = [&] {
+    if (!lookups.has_value()) return;
+    const auto t = lookups->totals();
+    lookup_totals.issued += t.issued;
+    lookup_totals.succeeded += t.succeeded;
+    lookup_totals.failed += t.failed;
+    lookup_totals.retries += t.retries;
+    lookup_totals.hedges += t.hedges;
+    lookups.reset();
+  };
+  wire_lookups(net);
+
+  // Optional observability stream: the registry + snapshotter declared
+  // above outlive the network (load replaces it), so everything is
+  // re-wired after every swap.
   const auto wire_metrics = [&](core::SmallWorldNetwork& target) {
     if (!snapshotter.has_value()) return;
     target.attach_metrics(registry);
@@ -323,6 +386,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     wire_metrics(net);
+    if (lookups.has_value()) lookups->attach_metrics(registry);
   }
   cmd_status(net);
 
@@ -432,8 +496,10 @@ int main(int argc, char** argv) {
           std::ifstream snap_in(path);
           std::stringstream buffer;
           buffer << snap_in.rdbuf();
+          drop_lookups();  // hooks into the engine being replaced
           net = core::restore_snapshot(core::from_text(buffer.str()), options);
           wire_metrics(net);  // the old engine (and its hooks) are gone
+          wire_lookups(net);
           cmd_status(net);
         } else {
           const core::IdIndex index = net.make_index();
@@ -450,6 +516,17 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", error.what());
     }
     if (interactive) std::printf("> ");
+  }
+  drop_lookups();
+  if (lookup_rate > 0.0) {
+    std::printf(
+        "lookups: %llu issued, %llu ok, %llu failed, %llu retries, "
+        "%llu hedges\n",
+        static_cast<unsigned long long>(lookup_totals.issued),
+        static_cast<unsigned long long>(lookup_totals.succeeded),
+        static_cast<unsigned long long>(lookup_totals.failed),
+        static_cast<unsigned long long>(lookup_totals.retries),
+        static_cast<unsigned long long>(lookup_totals.hedges));
   }
   if (snapshotter.has_value()) snapshotter->write(net.engine().round());
   return 0;
